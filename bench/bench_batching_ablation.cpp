@@ -1,0 +1,109 @@
+// Ablation for the Section-8 "Discussion" extensions: what happens when
+// the text system cooperates with the integration layer.
+//
+//  (1) Batched searches: TS's invocation cost collapses from c_i * N_K to
+//      c_i * ceil(N_K / B) — the paper: "if text systems provide the
+//      ability to accept multiple queries in one invocation ... then
+//      invocation and possibly transmission costs will be reduced."
+//      Sweeps the batch size B on the Q3 scenario.
+//
+//  (2) Dictionary statistics: estimating s_i / f_i through vocabulary
+//      lookups instead of probe searches — "such information will
+//      eliminate the need for sending all single-column probes."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "connector/cooperative.h"
+#include "core/batched_ts.h"
+#include "workload/paper_queries.h"
+
+namespace {
+
+using namespace textjoin;
+
+int Run() {
+  bench::PrintHeader(
+      "Section 8 extensions — batched invocations & dictionary statistics");
+
+  auto built = BuildQ3(Q3Config{});
+  TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+  auto prepared =
+      bench::PrepareSingleJoin(built->query, *built->scenario.catalog);
+  TEXTJOIN_CHECK(prepared.ok(), "prepare");
+  const CostParams params;
+
+  // Baseline: plain TS.
+  auto plain = bench::RunMethod(JoinMethodKind::kTS, *prepared,
+                                *built->scenario.engine);
+  TEXTJOIN_CHECK(plain.applicable, "TS");
+  std::printf("(1) batched tuple substitution on Q3 (plain TS: %llu "
+              "invocations, %.1f s)\n",
+              static_cast<unsigned long long>(plain.meter.invocations),
+              plain.simulated_seconds);
+  std::printf("%8s %14s %14s %10s\n", "B", "invocations", "sim-time(s)",
+              "speedup");
+  bool monotone = true;
+  double prev_time = plain.simulated_seconds;
+  size_t baseline_rows = plain.result_rows;
+  bool rows_match = true;
+  for (size_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+    CooperativeTextSource source(built->scenario.engine.get(), batch);
+    auto result = ExecuteTupleSubstitutionBatched(prepared->spec,
+                                                  prepared->rows, source);
+    TEXTJOIN_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+    const double seconds = source.meter().SimulatedSeconds(params);
+    std::printf("%8zu %14llu %14.1f %9.1fx\n", batch,
+                static_cast<unsigned long long>(source.meter().invocations),
+                seconds, plain.simulated_seconds / seconds);
+    if (seconds > prev_time * (1 + 1e-9)) monotone = false;
+    prev_time = seconds;
+    if (result->rows.size() != baseline_rows) rows_match = false;
+  }
+  std::printf("shape check (time non-increasing in B, answers invariant): "
+              "%s\n\n",
+              (monotone && rows_match) ? "PASS" : "FAIL");
+
+  // (2) statistics acquisition cost: probing vs dictionary lookups.
+  std::printf("(2) statistics acquisition for '%s':\n",
+              built->query.text_joins[1].ToString().c_str());
+  Table* table = *built->scenario.catalog->GetTable("project");
+  auto member_col = table->schema().Resolve("project.member");
+  TEXTJOIN_CHECK(member_col.ok(), "column");
+
+  RemoteTextSource probing(built->scenario.engine.get());
+  Rng rng(9);
+  auto sampled = EstimatePredicateStats(*table, *member_col, probing,
+                                        "author", /*sample_size=*/100000,
+                                        rng);
+  TEXTJOIN_CHECK(sampled.ok(), "sampled");
+
+  CooperativeTextSource dict(built->scenario.engine.get(), /*max_batch=*/64);
+  auto coop = EstimatePredicateStatsCooperative(*table, *member_col, dict,
+                                                "author");
+  TEXTJOIN_CHECK(coop.ok(), "coop");
+
+  std::printf("  %-22s %12s %12s %10s %10s\n", "path", "invocations",
+              "sim-time(s)", "s_i", "f_i");
+  std::printf("  %-22s %12llu %12.1f %10.3f %10.3f\n",
+              "probe per value",
+              static_cast<unsigned long long>(probing.meter().invocations),
+              probing.meter().SimulatedSeconds(params), sampled->selectivity,
+              sampled->fanout);
+  std::printf("  %-22s %12llu %12.1f %10.3f %10.3f\n",
+              "dictionary lookups",
+              static_cast<unsigned long long>(dict.meter().invocations),
+              dict.meter().SimulatedSeconds(params), coop->selectivity,
+              coop->fanout);
+  const bool stats_ok =
+      dict.meter().invocations < probing.meter().invocations / 10 &&
+      std::abs(coop->selectivity - sampled->selectivity) < 1e-9 &&
+      std::abs(coop->fanout - sampled->fanout) < 1e-9;
+  std::printf("shape check (same estimates, >=10x fewer invocations): %s\n",
+              stats_ok ? "PASS" : "FAIL");
+  return (monotone && rows_match && stats_ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

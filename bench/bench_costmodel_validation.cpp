@@ -1,0 +1,131 @@
+// Reproduces the paper's Section 7 cost-model validation: "We verified
+// that our cost formulas correctly predict the optimal method for each
+// query, using the fully correlated cost model."
+//
+// For each of Q1-Q4 this bench computes predicted costs for every
+// applicable method (Section-4 formulas, g = 1) and measures every method
+// on the simulated server, then checks that (a) the predicted optimal
+// method matches the measured optimal method, and (b) the full predicted
+// ranking correlates with the measured ranking (Spearman).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/single_join_optimizer.h"
+#include "workload/paper_queries.h"
+
+namespace {
+
+using namespace textjoin;
+
+struct Entry {
+  std::string name;
+  double predicted;
+  double measured;
+};
+
+double SpearmanRho(std::vector<Entry> entries) {
+  const size_t n = entries.size();
+  if (n < 2) return 1.0;
+  std::vector<size_t> pred_rank(n), meas_rank(n);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].predicted < entries[b].predicted;
+  });
+  for (size_t r = 0; r < n; ++r) pred_rank[order[r]] = r;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].measured < entries[b].measured;
+  });
+  for (size_t r = 0; r < n; ++r) meas_rank[order[r]] = r;
+  double d2 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred_rank[i]) -
+                     static_cast<double>(meas_rank[i]);
+    d2 += d * d;
+  }
+  return 1.0 - 6.0 * d2 / (static_cast<double>(n) * (n * n - 1.0));
+}
+
+bool ValidateQuery(const std::string& label, const FederatedQuery& query,
+                   const Scenario& scenario) {
+  auto prepared = bench::PrepareSingleJoin(query, *scenario.catalog);
+  TEXTJOIN_CHECK(prepared.ok(), "prepare");
+  auto model =
+      bench::BuildModel(query, *prepared, *scenario.catalog,
+                        *scenario.engine, /*g=*/1);
+  TEXTJOIN_CHECK(model.ok(), "%s", model.status().ToString().c_str());
+  SingleJoinOptimizer optimizer(&*model);
+  const MethodApplicability app = bench::ApplicabilityOf(query, *prepared);
+
+  std::vector<Entry> entries;
+  for (const MethodChoice& choice : optimizer.RankMethods(app)) {
+    // SJ and SJ+RTP coincide for doc-side semi-joins; keep the cheaper row.
+    bench::MethodRun run = bench::RunMethod(
+        choice.method, *prepared, *scenario.engine, choice.probe_mask);
+    if (!run.applicable) continue;
+    std::string name = JoinMethodName(choice.method);
+    if (choice.probe_mask != 0) name += MaskToString(choice.probe_mask);
+    entries.push_back({name, choice.predicted_cost, run.simulated_seconds});
+  }
+  std::printf("%s: %-60s\n", label.c_str(), query.ToString().c_str());
+  std::printf("  %-12s %14s %14s\n", "method", "predicted(s)", "measured(s)");
+  for (const Entry& e : entries) {
+    std::printf("  %-12s %14.1f %14.1f\n", e.name.c_str(), e.predicted,
+                e.measured);
+  }
+  const auto pred_best =
+      std::min_element(entries.begin(), entries.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.predicted < b.predicted;
+                       });
+  const auto meas_best =
+      std::min_element(entries.begin(), entries.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.measured < b.measured;
+                       });
+  const double rho = SpearmanRho(entries);
+  const bool optimal_match = pred_best->name == meas_best->name;
+  std::printf("  predicted optimal: %-10s measured optimal: %-10s %s\n",
+              pred_best->name.c_str(), meas_best->name.c_str(),
+              optimal_match ? "MATCH" : "MISMATCH");
+  std::printf("  Spearman rank correlation: %.2f\n\n", rho);
+  return optimal_match;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Section 7 — cost model predicts the optimal method (g = 1)");
+  size_t matches = 0;
+  {
+    auto built = BuildQ1(Q1Config{});
+    TEXTJOIN_CHECK(built.ok(), "Q1");
+    matches += ValidateQuery("Q1", built->query, built->scenario) ? 1 : 0;
+  }
+  {
+    auto built = BuildQ2(Q2Config{});
+    TEXTJOIN_CHECK(built.ok(), "Q2");
+    matches += ValidateQuery("Q2", built->query, built->scenario) ? 1 : 0;
+  }
+  {
+    auto built = BuildQ3(Q3Config{});
+    TEXTJOIN_CHECK(built.ok(), "Q3");
+    matches += ValidateQuery("Q3", built->query, built->scenario) ? 1 : 0;
+  }
+  {
+    auto built = BuildQ4(Q4Config{});
+    TEXTJOIN_CHECK(built.ok(), "Q4");
+    matches += ValidateQuery("Q4", built->query, built->scenario) ? 1 : 0;
+  }
+  std::printf("optimal-method prediction matches: %zu / 4\n", matches);
+  std::printf("shape check (>= 3 of 4 predicted correctly): %s\n",
+              matches >= 3 ? "PASS" : "FAIL");
+  return matches >= 3 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

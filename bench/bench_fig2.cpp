@@ -1,0 +1,83 @@
+// Reproduces **Figure 2** of the paper: the winner map of TS vs P+TS over
+// the (s_1, N_1/N) plane for the Q3 scenario (N = 100). The paper's
+// analysis: access cost is dominated by invocations + transmission; both
+// methods transmit the same long forms, so P+TS wins exactly where its
+// invocation count N_1 + s_1*N is below TS's N — i.e. in the region
+// s_1 < 1 - N_1/N, which occupies roughly half the plane.
+//
+// The map below marks 'P' where the cost model prefers P+TS (probe on
+// column 1) and 'T' where it prefers TS; '*' marks the analytic boundary
+// s_1 = 1 - N_1/N.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/cost_model.h"
+
+namespace {
+
+using namespace textjoin;
+
+int Run() {
+  std::printf(
+      "\n==============================================================\n"
+      "Figure 2 — TS vs P+TS winner map over (s_1, N_1/N), N = 100\n"
+      "==============================================================\n");
+
+  // Q3-like fixed parameters (from the paper's setup: N=100, D large, two
+  // join predicates; the second predicate's stats stay at their Q3 values).
+  const double N = 100;
+  const double D = 20000;
+
+  size_t agree = 0;
+  size_t total = 0;
+  std::printf("%6s", "s1\\N1N");
+  for (double ratio = 0.05; ratio <= 1.0001; ratio += 0.05) {
+    std::printf("%3.0f", ratio * 100);
+  }
+  std::printf("   (columns: N1/N x100)\n");
+  for (double s1 = 1.0; s1 >= -0.0001; s1 -= 0.05) {
+    std::printf("%6.2f", s1);
+    for (double ratio = 0.05; ratio <= 1.0001; ratio += 0.05) {
+      ForeignJoinStats stats;
+      stats.num_tuples = N;
+      stats.num_documents = D;
+      stats.correlation_g = 1;
+      // Q3 projects only docids, and both methods retrieve the same
+      // documents; invocation counts dominate (the paper's analysis).
+      stats.need_document_fields = false;
+      stats.predicates = {
+          {s1, std::max(s1, 0.6), ratio * N},  // probing column
+          {0.5, 1.2, N},                       // second join column
+      };
+      CostModel model(CostParams{}, stats);
+      const bool pts_wins = model.CostProbeTS(0b01) < model.CostTS();
+      const bool analytic = s1 < 1.0 - ratio;
+      const bool on_boundary = std::fabs(s1 - (1.0 - ratio)) < 0.051;
+      if (on_boundary) {
+        std::printf("  *");
+      } else {
+        std::printf("  %c", pts_wins ? 'P' : 'T');
+        ++total;
+        if (pts_wins == analytic) ++agree;
+      }
+    }
+    std::printf("\n");
+  }
+  const double pct = 100.0 * static_cast<double>(agree) /
+                     static_cast<double>(total);
+  std::printf(
+      "\nP = P+TS wins, T = TS wins, * = analytic boundary s1 = 1 - N1/N\n");
+  std::printf("agreement with the analytic boundary (off-boundary cells): "
+              "%.1f%% (%zu/%zu)\n",
+              pct, agree, total);
+  std::printf("paper: \"each method constitutes about half of the space\"; "
+              "the area occupied by P+TS is approximately s1 < 1 - N1/N\n");
+  const bool pass = pct >= 90.0;
+  std::printf("shape check (>=90%% agreement): %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,245 @@
+// Substrate micro-benchmarks (google-benchmark): the primitive operations
+// whose costs underlie the Section-4 model — sorted posting-list merges
+// (linear, per the paper's text-system model), phrase adjacency, index
+// build, Boolean search evaluation, the probe cache, tokenization, and the
+// relational hash join.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/text_match.h"
+#include "core/probe_cache.h"
+#include "relational/operators.h"
+#include "text/engine.h"
+#include "text/postings.h"
+#include "text/query.h"
+#include "text/storage.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace textjoin;
+
+PostingList MakePostings(size_t n, uint32_t stride) {
+  PostingList list;
+  list.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    list.push_back(
+        Posting{static_cast<DocNum>(i * stride), {static_cast<TokenPos>(i)}});
+  }
+  return list;
+}
+
+void BM_PostingIntersect(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PostingList a = MakePostings(n, 2);
+  PostingList b = MakePostings(n, 3);
+  for (auto _ : state) {
+    MergeCounter counter;
+    benchmark::DoNotOptimize(IntersectLists(a, b, &counter));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n);
+}
+BENCHMARK(BM_PostingIntersect)->Range(1 << 8, 1 << 16);
+
+void BM_PostingUnion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PostingList a = MakePostings(n, 2);
+  PostingList b = MakePostings(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UnionLists(a, b, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n);
+}
+BENCHMARK(BM_PostingUnion)->Range(1 << 8, 1 << 16);
+
+void BM_PhraseAdjacent(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PostingList a = MakePostings(n, 1);
+  PostingList b;
+  for (size_t i = 0; i < n; ++i) {
+    b.push_back(Posting{static_cast<DocNum>(i),
+                        {static_cast<TokenPos>(i + 1)}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PhraseAdjacent(a, b, nullptr));
+  }
+}
+BENCHMARK(BM_PhraseAdjacent)->Range(1 << 8, 1 << 14);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string text =
+      "Join queries with external text sources: execution and "
+      "optimization techniques for loosely integrated database systems";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizeText(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TextEngine engine;
+    Rng rng(7);
+    state.ResumeTiming();
+    for (size_t d = 0; d < docs; ++d) {
+      Document doc;
+      doc.docid = "d" + std::to_string(d);
+      std::string title;
+      for (int w = 0; w < 8; ++w) {
+        title += "w" + std::to_string(rng.Uniform(0, 2000)) + " ";
+      }
+      doc.fields["title"] = {title};
+      doc.fields["author"] = {"a" + std::to_string(rng.Uniform(0, 200))};
+      benchmark::DoNotOptimize(engine.AddDocument(std::move(doc)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs));
+}
+BENCHMARK(BM_IndexBuild)->Range(1 << 8, 1 << 12);
+
+class SearchFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (engine) return;
+    engine = std::make_unique<TextEngine>();
+    Rng rng(11);
+    for (size_t d = 0; d < 20000; ++d) {
+      Document doc;
+      doc.docid = "d" + std::to_string(d);
+      std::string title;
+      for (int w = 0; w < 8; ++w) {
+        title += "w" + std::to_string(rng.Uniform(0, 3000)) + " ";
+      }
+      doc.fields["title"] = {title};
+      doc.fields["author"] = {"a" + std::to_string(rng.Uniform(0, 500)),
+                              "a" + std::to_string(rng.Uniform(0, 500))};
+      TEXTJOIN_CHECK(engine->AddDocument(std::move(doc)).ok(), "add");
+    }
+  }
+  std::unique_ptr<TextEngine> engine;
+};
+
+BENCHMARK_F(SearchFixture, BM_SearchSingleWord)(benchmark::State& state) {
+  auto q = TextQuery::Term("title", "w42");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(*q));
+  }
+}
+
+BENCHMARK_F(SearchFixture, BM_SearchConjunction)(benchmark::State& state) {
+  auto parsed = ParseTextQuery("title='w42' and author='a7'");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(**parsed));
+  }
+}
+
+BENCHMARK_F(SearchFixture, BM_SearchBigDisjunction)(benchmark::State& state) {
+  std::vector<TextQueryPtr> terms;
+  for (int i = 0; i < 60; ++i) {
+    terms.push_back(TextQuery::Term("author", "a" + std::to_string(i)));
+  }
+  auto q = TextQuery::Or(std::move(terms));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(*q));
+  }
+}
+
+void BM_ProbeCache(benchmark::State& state) {
+  ProbeCache cache;
+  Rng rng(3);
+  std::vector<Row> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back({Value::Str("k" + std::to_string(i))});
+    cache.Insert(keys.back(), i % 2 == 0);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_ProbeCache);
+
+void BM_HashJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Schema left_schema;
+  left_schema.AddColumn(Column{"l", "k", ValueType::kInt64});
+  Schema right_schema;
+  right_schema.AddColumn(Column{"r", "k", ValueType::kInt64});
+  std::vector<Row> left_rows, right_rows;
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    left_rows.push_back({Value::Int(rng.Uniform(0, 1000))});
+    right_rows.push_back({Value::Int(rng.Uniform(0, 1000))});
+  }
+  for (auto _ : state) {
+    auto left = std::make_unique<RowsSource>(left_schema, left_rows);
+    auto right = std::make_unique<RowsSource>(right_schema, right_rows);
+    HashJoin join(std::move(left), std::move(right), {{"l.k", "r.k"}},
+                  nullptr);
+    benchmark::DoNotOptimize(DrainOperator(join));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_HashJoin)->Range(1 << 8, 1 << 13);
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioConfig config;
+    config.relations = {{"r", 200, {}}};
+    config.predicates = {{"r", "c", "author", 50, 0.4, 1.0}};
+    config.num_documents = static_cast<size_t>(state.range(0));
+    benchmark::DoNotOptimize(BuildScenario(config));
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Range(1 << 9, 1 << 12);
+
+
+void BM_DiskListRead(benchmark::State& state) {
+  // Lists-on-disk read path ([DH91]) vs the in-memory lookup below.
+  static const std::string* const kIndexPath = [] {
+    ScenarioConfig config;
+    config.relations = {{"r", 100, {}}};
+    config.predicates = {{"r", "c", "author", 50, 1.0, 40.0}};
+    config.num_documents = 5000;
+    auto scenario = BuildScenario(config);
+    TEXTJOIN_CHECK(scenario.ok(), "scenario");
+    auto* path = new std::string("/tmp/textjoin_bench_index.tji");
+    TEXTJOIN_CHECK(WriteIndexFile(*scenario->engine, *path).ok(), "write");
+    return path;
+  }();
+  auto disk = DiskPostingIndex::Open(*kIndexPath);
+  TEXTJOIN_CHECK(disk.ok(), "open");
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string token = "p0v" + std::to_string(i++ % 50);
+    benchmark::DoNotOptimize((*disk)->ReadList("author", token));
+  }
+}
+BENCHMARK(BM_DiskListRead);
+
+void BM_MemoryListLookup(benchmark::State& state) {
+  static const TextEngine* const kEngine = [] {
+    ScenarioConfig config;
+    config.relations = {{"r", 100, {}}};
+    config.predicates = {{"r", "c", "author", 50, 1.0, 40.0}};
+    config.num_documents = 5000;
+    auto scenario = BuildScenario(config);
+    TEXTJOIN_CHECK(scenario.ok(), "scenario");
+    return scenario->engine.release();
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string token = "p0v" + std::to_string(i++ % 50);
+    benchmark::DoNotOptimize(kEngine->index().Lookup("author", token));
+  }
+}
+BENCHMARK(BM_MemoryListLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Ablation of the semi-join batching (Section 3.2): the number of searches
+// the OR-batched semi-join sends is ceil(|Q| / M) where |Q| is the total
+// term count and M the text system's per-search limit (70 for Mercury).
+// Sweeps M on the Q2 scenario and verifies the invocation count follows
+// the ceiling law; also shows the paper's "Discussion" point that a larger
+// M (a more integration-friendly text system) directly cuts invocation
+// cost.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/paper_queries.h"
+
+namespace {
+
+using namespace textjoin;
+
+int Run() {
+  bench::PrintHeader(
+      "Semi-join batching ablation — invocations vs term limit M (Q2)");
+  std::printf("%6s %12s %12s %14s %10s\n", "M", "invocations", "expected",
+              "sim-time(s)", "docids");
+
+  bool law_holds = true;
+  size_t baseline_docids = 0;
+  for (size_t m : {5, 10, 20, 40, 70, 140, 280}) {
+    Q2Config config;
+    config.max_search_terms = m;
+    auto built = BuildQ2(config);
+    TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+    auto prepared =
+        bench::PrepareSingleJoin(built->query, *built->scenario.catalog);
+    TEXTJOIN_CHECK(prepared.ok(), "prepare");
+
+    // Expected batches: one selection term per batch + 1 term per distinct
+    // name, capacity M - 1 disjuncts per search.
+    std::set<std::string> names;
+    auto idx = prepared->spec.left_schema.Resolve("student.name");
+    for (const Row& row : prepared->rows) {
+      names.insert(row.at(*idx).AsString());
+    }
+    const size_t expected = static_cast<size_t>(
+        std::ceil(static_cast<double>(names.size()) /
+                  static_cast<double>(m - 1)));
+
+    auto run = bench::RunMethod(JoinMethodKind::kSJ, *prepared,
+                                *built->scenario.engine);
+    TEXTJOIN_CHECK(run.applicable, "SJ inapplicable");
+    std::printf("%6zu %12llu %12zu %14.1f %10zu\n", m,
+                static_cast<unsigned long long>(run.meter.invocations),
+                expected, run.simulated_seconds, run.result_rows);
+    if (run.meter.invocations != expected) law_holds = false;
+    if (baseline_docids == 0) {
+      baseline_docids = run.result_rows;
+    } else if (run.result_rows != baseline_docids) {
+      law_holds = false;  // batching must not change the answer
+    }
+  }
+  std::printf("\nshape check (invocations = ceil(names / (M-1)), answer "
+              "invariant): %s\n",
+              law_holds ? "PASS" : "FAIL");
+  return law_holds ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,156 @@
+// Reproduces **Table 2** of the paper: execution times of the sample
+// queries Q1-Q4 under each join method. The paper's numbers (seconds,
+// measured on OpenODB + Mercury):
+//
+//             Q1    Q2    Q3    Q4
+//   TS       145    52   328    43
+//   RTP        8    91     -     -
+//   SJ+RTP    18     9    97    20
+//   P+TS       -     -    81    52
+//   P+RTP      -     -   118    12
+//
+// The shape to reproduce: a DIFFERENT method wins each query —
+// Q1 -> RTP, Q2 -> SJ(+RTP), Q3 -> P+TS, Q4 -> P+RTP — and TS is never
+// the winner. Our absolute numbers are simulated seconds (operation counts
+// x the paper's calibrated constants) over synthetic scenarios shaped like
+// each query's regime, so magnitudes are comparable but not identical.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/paper_queries.h"
+
+namespace {
+
+using namespace textjoin;
+using bench::MethodRun;
+using bench::PreparedJoin;
+
+struct Cell {
+  bool present = false;
+  double seconds = 0.0;
+  PredicateMask mask = 0;
+};
+
+struct QueryResult {
+  std::string label;
+  std::map<std::string, Cell> cells;  // row label -> cell
+  std::string winner;
+  double winner_seconds = 0.0;
+};
+
+/// Runs all methods for one prepared query; probing methods report their
+/// best mask (as the paper's optimizer would pick).
+QueryResult RunAll(const std::string& label, const FederatedQuery& query,
+                   const Scenario& scenario) {
+  QueryResult out;
+  out.label = label;
+  auto prepared = bench::PrepareSingleJoin(query, *scenario.catalog);
+  TEXTJOIN_CHECK(prepared.ok(), "%s", prepared.status().ToString().c_str());
+
+  auto record = [&](const std::string& row, JoinMethodKind method,
+                    PredicateMask mask) {
+    MethodRun run = bench::RunMethod(method, *prepared, *scenario.engine,
+                                     mask);
+    if (!run.applicable) return;
+    auto it = out.cells.find(row);
+    if (it == out.cells.end() || run.simulated_seconds < it->second.seconds) {
+      out.cells[row] = {true, run.simulated_seconds, mask};
+    }
+  };
+
+  record("TS", JoinMethodKind::kTS, 0);
+  record("RTP", JoinMethodKind::kRTP, 0);
+  // The Table-2 "SJ+RTP" row is plain SJ when the query is a doc-side
+  // semi-join (Q2) and SJ+RTP otherwise, as in the paper.
+  record("SJ+RTP", JoinMethodKind::kSJ, 0);
+  record("SJ+RTP", JoinMethodKind::kSJRTP, 0);
+  const size_t k = query.text_joins.size();
+  if (k >= 2) {
+    // Probing is interesting with multiple predicates; report the best
+    // probe-column choice, mirroring the optimizer.
+    for (PredicateMask mask = 1; mask < (1u << k); ++mask) {
+      record("P+TS", JoinMethodKind::kPTS, mask);
+      record("P+RTP", JoinMethodKind::kPRTP, mask);
+    }
+  }
+  for (const auto& [row, cell] : out.cells) {
+    if (out.winner.empty() || cell.seconds < out.winner_seconds) {
+      out.winner = row;
+      out.winner_seconds = cell.seconds;
+    }
+  }
+  return out;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Table 2 — execution times (simulated seconds) for Q1-Q4");
+
+  std::vector<QueryResult> results;
+  {
+    auto built = BuildQ1(Q1Config{});
+    TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+    results.push_back(RunAll("Q1", built->query, built->scenario));
+  }
+  {
+    auto built = BuildQ2(Q2Config{});
+    TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+    results.push_back(RunAll("Q2", built->query, built->scenario));
+  }
+  {
+    auto built = BuildQ3(Q3Config{});
+    TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+    results.push_back(RunAll("Q3", built->query, built->scenario));
+  }
+  {
+    auto built = BuildQ4(Q4Config{});
+    TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+    results.push_back(RunAll("Q4", built->query, built->scenario));
+  }
+
+  const std::vector<std::string> rows = {"TS", "RTP", "SJ+RTP", "P+TS",
+                                         "P+RTP"};
+  std::printf("%-8s", "method");
+  for (const QueryResult& r : results) std::printf("%10s", r.label.c_str());
+  std::printf("\n");
+  for (const std::string& row : rows) {
+    std::printf("%-8s", row.c_str());
+    for (const QueryResult& r : results) {
+      auto it = r.cells.find(row);
+      if (it == r.cells.end()) {
+        std::printf("%10s", "-");
+      } else {
+        std::printf("%10.1f", it->second.seconds);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nwinners: ");
+  for (const QueryResult& r : results) {
+    std::printf("%s->%s  ", r.label.c_str(), r.winner.c_str());
+  }
+  std::printf("\npaper:    Q1->RTP  Q2->SJ+RTP  Q3->P+TS  Q4->P+RTP\n");
+
+  const char* expected[] = {"RTP", "SJ+RTP", "P+TS", "P+RTP"};
+  bool all_match = true;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].winner != expected[i]) {
+      all_match = false;
+      std::printf("MISMATCH: %s winner is %s, paper says %s\n",
+                  results[i].label.c_str(), results[i].winner.c_str(),
+                  expected[i]);
+    }
+  }
+  std::printf("shape check (each query won by the paper's method): %s\n",
+              all_match ? "PASS" : "FAIL");
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,156 @@
+#ifndef TEXTJOIN_BENCH_BENCH_UTIL_H_
+#define TEXTJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "connector/remote_text_source.h"
+#include "core/cost_model.h"
+#include "core/executor.h"
+#include "core/join_methods.h"
+#include "core/single_join_optimizer.h"
+#include "core/statistics.h"
+#include "workload/scenario.h"
+
+/// \file
+/// Shared plumbing for the table/figure reproduction benches: run one join
+/// method over a single-join scenario and report measured simulated
+/// seconds; build the Section-4 cost model from measured (oracle)
+/// statistics for predictions.
+
+namespace textjoin::bench {
+
+/// A single-join query lowered to a foreign-join spec + filtered outer rows.
+struct PreparedJoin {
+  ForeignJoinSpec spec;
+  std::vector<Row> rows;
+};
+
+/// Lowers a single-relation federated query: pushes the relational
+/// selections into the outer row set and builds the foreign-join spec.
+inline Result<PreparedJoin> PrepareSingleJoin(const FederatedQuery& query,
+                                              const Catalog& catalog) {
+  if (query.relations.size() != 1) {
+    return Status::InvalidArgument("PrepareSingleJoin needs one relation");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                            catalog.GetTable(query.relations[0].table_name));
+  PreparedJoin out;
+  out.spec.left_schema =
+      table->schema().WithQualifier(query.relations[0].name());
+  out.spec.selections = query.text_selections;
+  out.spec.joins = query.text_joins;
+  out.spec.text = query.text;
+  out.spec.need_document_fields = query.NeedsDocumentFields();
+  bool needs_left = query.output_columns.empty();
+  for (const std::string& ref : query.output_columns) {
+    if (out.spec.left_schema.Resolve(ref).ok()) needs_left = true;
+  }
+  out.spec.left_columns_needed = needs_left;
+  for (const Row& row : table->rows()) {
+    bool pass = true;
+    for (const ExprPtr& pred : query.relational_predicates) {
+      ExprPtr bound = pred->Clone();
+      TEXTJOIN_RETURN_IF_ERROR(bound->Bind(out.spec.left_schema));
+      if (!ValueIsTrue(bound->Eval(row))) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.rows.push_back(row);
+  }
+  return out;
+}
+
+/// Outcome of executing one method.
+struct MethodRun {
+  bool applicable = false;
+  double simulated_seconds = 0.0;
+  size_t result_rows = 0;
+  AccessMeter meter;
+};
+
+/// Executes `method` over the prepared join, metering from scratch.
+inline MethodRun RunMethod(JoinMethodKind method, const PreparedJoin& join,
+                           TextEngine& engine, PredicateMask mask = 0,
+                           CostParams params = CostParams{}) {
+  RemoteTextSource source(&engine);
+  MethodRun run;
+  Result<ForeignJoinResult> result =
+      ExecuteForeignJoin(method, join.spec, join.rows, source, mask);
+  if (!result.ok()) return run;
+  run.applicable = true;
+  run.meter = source.meter();
+  run.simulated_seconds = source.meter().SimulatedSeconds(params);
+  run.result_rows = result->rows.size();
+  return run;
+}
+
+/// Builds the Section-4 cost model for a prepared single join from exact
+/// statistics, with N = the filtered outer row count.
+inline Result<CostModel> BuildModel(const FederatedQuery& query,
+                                    const PreparedJoin& join,
+                                    const Catalog& catalog,
+                                    const TextEngine& engine,
+                                    int correlation_g = 1,
+                                    CostParams params = CostParams{}) {
+  StatsRegistry registry;
+  TEXTJOIN_RETURN_IF_ERROR(
+      ComputeExactStats(query, catalog, engine, registry));
+  ForeignJoinStats stats;
+  stats.num_tuples = static_cast<double>(join.rows.size());
+  stats.num_documents = static_cast<double>(engine.num_documents());
+  stats.max_terms = static_cast<double>(engine.max_search_terms());
+  stats.correlation_g = correlation_g;
+  stats.need_document_fields = join.spec.need_document_fields;
+  for (const TextJoinPredicate& pred : query.text_joins) {
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        TextPredicateStats ps,
+        registry.GetTextJoinStats(pred.column_ref, pred.field));
+    // N_i: distinct values of the column among the filtered rows.
+    auto idx = join.spec.left_schema.Resolve(pred.column_ref);
+    TEXTJOIN_RETURN_IF_ERROR(idx.status());
+    std::set<std::string> distinct;
+    for (const Row& row : join.rows) {
+      if (row.at(*idx).type() == ValueType::kString) {
+        distinct.insert(row.at(*idx).AsString());
+      }
+    }
+    ps.num_distinct = static_cast<double>(distinct.size());
+    stats.predicates.push_back(ps);
+  }
+  double joint_docs = stats.num_documents;
+  for (const TextSelection& sel : query.text_selections) {
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        TextSelectionStats ss,
+        registry.GetTextSelectionStats(sel.term, sel.field));
+    joint_docs = std::min(joint_docs, ss.match_docs);
+    stats.selection_postings += ss.postings;
+    stats.num_selection_terms += 1;
+  }
+  stats.selection_match_docs =
+      query.text_selections.empty() ? 0.0 : joint_docs;
+  return CostModel(params, std::move(stats));
+}
+
+/// Applicability flags derived from a query (for RankMethods).
+inline MethodApplicability ApplicabilityOf(const FederatedQuery& query,
+                                           const PreparedJoin& join) {
+  MethodApplicability app;
+  app.has_selections = !query.text_selections.empty();
+  app.left_columns_needed = join.spec.left_columns_needed;
+  app.need_document_fields = join.spec.need_document_fields;
+  return app;
+}
+
+/// Prints a horizontal rule + centered title.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace textjoin::bench
+
+#endif  // TEXTJOIN_BENCH_BENCH_UTIL_H_

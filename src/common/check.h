@@ -1,0 +1,40 @@
+#ifndef TEXTJOIN_COMMON_CHECK_H_
+#define TEXTJOIN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros for programmer errors.
+///
+/// The library uses Status/Result (see status.h) for recoverable errors and
+/// these macros for conditions that indicate a bug in the caller or in the
+/// library itself. A failed check aborts the process with a source location,
+/// which is the behaviour database engines typically want for corrupted
+/// internal state.
+
+/// Aborts the process if `cond` is false, printing the failing expression and
+/// an optional printf-style message.
+#define TEXTJOIN_CHECK(cond, ...)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, "" __VA_ARGS__);                                \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Equality-checking convenience wrapper over TEXTJOIN_CHECK.
+#define TEXTJOIN_CHECK_EQ(a, b, ...) TEXTJOIN_CHECK((a) == (b), ##__VA_ARGS__)
+
+/// Marks an unreachable code path; aborts if ever executed.
+#define TEXTJOIN_UNREACHABLE(msg)                                          \
+  do {                                                                     \
+    std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__, \
+                 msg);                                                     \
+    std::abort();                                                          \
+  } while (0)
+
+#endif  // TEXTJOIN_COMMON_CHECK_H_

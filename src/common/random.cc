@@ -1,0 +1,35 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace textjoin {
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  Shuffle(all);
+  if (k < n) all.resize(k);
+  return all;
+}
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta) {
+  TEXTJOIN_CHECK(n > 0, "ZipfGenerator needs n > 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+}
+
+size_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace textjoin

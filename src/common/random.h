@@ -1,0 +1,88 @@
+#ifndef TEXTJOIN_COMMON_RANDOM_H_
+#define TEXTJOIN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file
+/// Deterministic random sources for workload generation and sampling.
+///
+/// All experiment code draws randomness through Rng so that benchmark tables
+/// are reproducible run-to-run given the same seed.
+
+namespace textjoin {
+
+/// A seeded Mersenne-Twister wrapper with the handful of draw shapes the
+/// workload generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    TEXTJOIN_CHECK(lo <= hi, "Uniform: empty range");
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Poisson draw with mean `mean` (mean >= 0).
+  int64_t Poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    std::poisson_distribution<int64_t> dist(mean);
+    return dist(engine_);
+  }
+
+  /// Returns a random sample (without replacement) of `k` indices from
+  /// [0, n). If k >= n, returns all of [0, n) shuffled.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integer generator over {0, ..., n-1} with exponent
+/// `theta` (theta = 0 is uniform). Uses the precomputed-CDF method, which is
+/// exact and fast for the corpus sizes used in the experiments.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta);
+
+  /// Draws one value in [0, n).
+  size_t Next(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_RANDOM_H_

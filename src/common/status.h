@@ -1,0 +1,149 @@
+#ifndef TEXTJOIN_COMMON_STATUS_H_
+#define TEXTJOIN_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+/// \file
+/// Lightweight Status / Result<T> error handling.
+///
+/// The library does not use exceptions (databases-domain convention; see
+/// DESIGN.md §6). Operations that can fail for data-dependent reasons return
+/// a Status or a Result<T>. Programmer errors abort via TEXTJOIN_CHECK.
+
+namespace textjoin {
+
+/// Coarse error classification, modeled after common database engines.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (e.g., a bad query string).
+  kNotFound,          ///< A named entity (table, column, docid) is missing.
+  kAlreadyExists,     ///< Attempt to register a duplicate name.
+  kOutOfRange,        ///< Index or parameter outside its legal range.
+  kResourceExhausted, ///< A capacity limit was hit (e.g., term limit M).
+  kUnimplemented,     ///< Feature intentionally not supported.
+  kInternal,          ///< Invariant violation detected at runtime.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs an error status with a message. `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    TEXTJOIN_CHECK(code_ != StatusCode::kOk,
+                   "error Status must not carry kOk");
+  }
+
+  /// Named constructors for the common error codes.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. Access to the value when holding an error aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — allows `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status — allows `return status;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TEXTJOIN_CHECK(!status_.ok(), "Result constructed from OK Status");
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    TEXTJOIN_CHECK(ok(), "Result::value() on error: %s",
+                   status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    TEXTJOIN_CHECK(ok(), "Result::value() on error: %s",
+                   status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    TEXTJOIN_CHECK(ok(), "Result::value() on error: %s",
+                   status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression, like Go's `if err != nil`.
+#define TEXTJOIN_RETURN_IF_ERROR(expr)               \
+  do {                                               \
+    ::textjoin::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#define TEXTJOIN_INTERNAL_CONCAT_(a, b) a##b
+#define TEXTJOIN_INTERNAL_CONCAT(a, b) TEXTJOIN_INTERNAL_CONCAT_(a, b)
+
+#define TEXTJOIN_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                       \
+  if (!tmp.ok()) return tmp.status();                      \
+  lhs = std::move(tmp).value()
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define TEXTJOIN_ASSIGN_OR_RETURN(lhs, expr)                            \
+  TEXTJOIN_INTERNAL_ASSIGN_OR_RETURN(                                   \
+      TEXTJOIN_INTERNAL_CONCAT(_textjoin_result_, __LINE__), lhs, expr)
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef TEXTJOIN_COMMON_STRING_UTIL_H_
+#define TEXTJOIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string helpers shared by the SQL lexer, the text analyzer, and the
+/// relational string-matching functions.
+
+namespace textjoin {
+
+/// Returns `s` converted to ASCII lowercase.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// SQL LIKE pattern match: '%' matches any run (possibly empty), '_' matches
+/// exactly one character; everything else matches itself, case-insensitively
+/// (matching the common collation of the paper's bibliographic data).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Renders a double with `digits` significant digits (for table output).
+std::string FormatDouble(double v, int digits = 4);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,73 @@
+#include "common/text_match.h"
+
+#include <cctype>
+
+namespace textjoin {
+
+std::vector<std::string> TokenizeText(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool TokensContainPhrase(const std::vector<std::string>& value_tokens,
+                         const std::vector<std::string>& term_tokens) {
+  if (term_tokens.empty() || term_tokens.size() > value_tokens.size()) {
+    return false;
+  }
+  const size_t last_start = value_tokens.size() - term_tokens.size();
+  for (size_t start = 0; start <= last_start; ++start) {
+    bool match = true;
+    for (size_t i = 0; i < term_tokens.size(); ++i) {
+      if (value_tokens[start + i] != term_tokens[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SplitFieldValues(std::string_view field_text) {
+  std::vector<std::string> values;
+  size_t start = 0;
+  for (size_t i = 0; i <= field_text.size(); ++i) {
+    if (i == field_text.size() || field_text[i] == kValueSeparator) {
+      values.emplace_back(field_text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return values;
+}
+
+std::string JoinFieldValues(const std::vector<std::string>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(kValueSeparator);
+    out.append(values[i]);
+  }
+  return out;
+}
+
+bool TermMatchesFieldText(std::string_view term,
+                          std::string_view field_text) {
+  const std::vector<std::string> term_tokens = TokenizeText(term);
+  if (term_tokens.empty()) return false;
+  for (const std::string& value : SplitFieldValues(field_text)) {
+    if (TokensContainPhrase(TokenizeText(value), term_tokens)) return true;
+  }
+  return false;
+}
+
+}  // namespace textjoin

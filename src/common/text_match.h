@@ -1,0 +1,54 @@
+#ifndef TEXTJOIN_COMMON_TEXT_MATCH_H_
+#define TEXTJOIN_COMMON_TEXT_MATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Shared word/phrase matching semantics.
+///
+/// The paper requires that the relational engine's string functions have
+/// semantics *consistent* with the text retrieval system (Section 3.2): the
+/// RTP join method evaluates text predicates on the relational side, and the
+/// results must agree with the text system evaluating the same predicates.
+/// Both the text analyzer (src/text/analyzer.h) and the relational
+/// TextMatch expression (src/relational/expression.h) are built on the
+/// functions in this header, which is what guarantees that agreement.
+///
+/// Semantics: a field value is tokenized into lowercase alphanumeric words;
+/// a term (word or phrase) matches iff its token sequence occurs
+/// consecutively within a single field value. Multi-valued fields are
+/// represented on the relational side as one string whose values are
+/// separated by kValueSeparator; phrase matches never cross the separator.
+
+namespace textjoin {
+
+/// Separator used when flattening a multi-valued text field (e.g. the
+/// author list of a bibliographic record) into one relational string.
+inline constexpr char kValueSeparator = '\x1f';
+
+/// Tokenizes `text` into lowercase maximal alphanumeric runs. The value
+/// separator terminates a token like any other non-alphanumeric byte.
+std::vector<std::string> TokenizeText(std::string_view text);
+
+/// True if the token sequence of `term` occurs consecutively within a single
+/// kValueSeparator-delimited value of `field_text`. An empty-token term
+/// never matches (mirrors a Boolean text system rejecting empty searches).
+bool TermMatchesFieldText(std::string_view term, std::string_view field_text);
+
+/// True if the token sequence `term_tokens` occurs consecutively in
+/// `value_tokens` (a single field value, already tokenized).
+bool TokensContainPhrase(const std::vector<std::string>& value_tokens,
+                         const std::vector<std::string>& term_tokens);
+
+/// Splits flattened multi-value field text back into its individual values.
+std::vector<std::string> SplitFieldValues(std::string_view field_text);
+
+/// Joins individual field values into the flattened relational
+/// representation.
+std::string JoinFieldValues(const std::vector<std::string>& values);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_TEXT_MATCH_H_

@@ -1,0 +1,133 @@
+#include "connector/cooperative.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/analyzer.h"
+
+namespace textjoin {
+
+Result<std::vector<std::vector<std::string>>>
+CooperativeTextSource::SearchBatch(
+    const std::vector<const TextQuery*>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty search batch");
+  }
+  if (queries.size() > max_batch_) {
+    return Status::ResourceExhausted(
+        "batch of " + std::to_string(queries.size()) +
+        " searches exceeds the server's batch limit " +
+        std::to_string(max_batch_));
+  }
+  // One connection for the whole batch.
+  meter().invocations += 1;
+  std::vector<std::vector<std::string>> answers;
+  answers.reserve(queries.size());
+  for (const TextQuery* query : queries) {
+    TEXTJOIN_CHECK(query != nullptr, "null query in batch");
+    Result<EngineSearchResult> result = engine_->Search(*query);
+    if (!result.ok()) return result.status();
+    meter().postings_processed += result->postings_processed;
+    meter().short_docs += result->docs.size();
+    std::vector<std::string> docids;
+    docids.reserve(result->docs.size());
+    for (DocNum num : result->docs) {
+      docids.push_back(engine_->GetDocument(num).docid);
+    }
+    answers.push_back(std::move(docids));
+  }
+  return answers;
+}
+
+Result<std::vector<size_t>> CooperativeTextSource::LookupFrequencies(
+    const std::string& field, const std::vector<std::string>& terms) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("empty frequency lookup");
+  }
+  if (terms.size() > max_batch_) {
+    return Status::ResourceExhausted(
+        "frequency lookup of " + std::to_string(terms.size()) +
+        " terms exceeds the batch limit " + std::to_string(max_batch_));
+  }
+  // Dictionary lookups: one connection, one short-form unit per answer,
+  // zero posting-list scans.
+  meter().invocations += 1;
+  meter().short_docs += terms.size();
+  std::vector<size_t> frequencies;
+  frequencies.reserve(terms.size());
+  for (const std::string& term : terms) {
+    const std::vector<std::string> tokens = AnalyzeTerm(term);
+    if (tokens.empty()) {
+      frequencies.push_back(0);
+      continue;
+    }
+    size_t freq = SIZE_MAX;
+    for (const std::string& token : tokens) {
+      freq = std::min(freq, engine_->index().DocFrequency(field, token));
+    }
+    frequencies.push_back(freq);
+  }
+  return frequencies;
+}
+
+Result<FieldStatistics> CooperativeTextSource::GetFieldStatistics(
+    const std::string& field) {
+  meter().invocations += 1;
+  FieldStatistics stats;
+  stats.vocabulary_size = engine_->index().VocabularySize(field);
+  stats.total_postings = engine_->index().TotalPostings();
+  if (stats.vocabulary_size == 0) {
+    return stats;
+  }
+  // Mean documents per token of this field, from the dictionary.
+  // (The engine can compute this in one pass over the directory.)
+  uint64_t field_postings = 0;
+  for (const PostingList* list :
+       engine_->index().LookupPrefix(field, "")) {
+    field_postings += list->size();
+  }
+  stats.mean_fanout = static_cast<double>(field_postings) /
+                      static_cast<double>(stats.vocabulary_size);
+  return stats;
+}
+
+Result<PredicateStatsEstimate> EstimatePredicateStatsCooperative(
+    const Table& table, size_t column_index, CooperativeTextSource& source,
+    const std::string& field) {
+  if (column_index >= table.schema().num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  std::set<std::string> distinct;
+  for (const Row& row : table.rows()) {
+    const Value& v = row.at(column_index);
+    if (v.type() == ValueType::kString) distinct.insert(v.AsString());
+  }
+  if (distinct.empty()) {
+    return Status::InvalidArgument("column has no string values");
+  }
+  std::vector<std::string> terms(distinct.begin(), distinct.end());
+  size_t matched = 0;
+  uint64_t total_docs = 0;
+  for (size_t start = 0; start < terms.size();
+       start += source.max_batch_size()) {
+    const size_t count =
+        std::min(source.max_batch_size(), terms.size() - start);
+    std::vector<std::string> chunk(terms.begin() + start,
+                                   terms.begin() + start + count);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<size_t> freqs,
+                              source.LookupFrequencies(field, chunk));
+    for (size_t f : freqs) {
+      if (f > 0) ++matched;
+      total_docs += f;
+    }
+  }
+  PredicateStatsEstimate est;
+  est.sample_size = terms.size();
+  est.selectivity =
+      static_cast<double>(matched) / static_cast<double>(terms.size());
+  est.fanout =
+      static_cast<double>(total_docs) / static_cast<double>(terms.size());
+  return est;
+}
+
+}  // namespace textjoin

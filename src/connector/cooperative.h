@@ -1,0 +1,108 @@
+#ifndef TEXTJOIN_CONNECTOR_COOPERATIVE_H_
+#define TEXTJOIN_CONNECTOR_COOPERATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "connector/remote_text_source.h"
+#include "text/engine.h"
+#include "connector/sampler.h"
+#include "relational/table.h"
+
+/// \file
+/// The Section-8 ("Discussion") extensions: features the paper argues text
+/// retrieval systems should add to be better integration citizens.
+///
+///  1. *Batched searches*: "if text systems provide the ability to accept
+///     multiple queries in one invocation and can return answers in a
+///     batched mode while maintaining the correspondence between each
+///     query and its answers, then invocation ... costs for the queries
+///     will be reduced." SearchBatch evaluates many searches for a single
+///     invocation charge.
+///
+///  2. *Vocabulary statistics*: "the text system can help the optimizer by
+///     making available statistics such as distribution of fanout of the
+///     words in the vocabulary. Such information will eliminate the need
+///     for sending all single-column probes to the text system."
+///     LookupFrequencies answers document-frequency questions from the
+///     in-memory dictionary — one invocation, no posting-list scans — so
+///     the optimizer's statistics become nearly free.
+
+namespace textjoin {
+
+/// Summary statistics of one field's vocabulary, served by the text system.
+struct FieldStatistics {
+  size_t vocabulary_size = 0;   ///< Distinct tokens indexed in the field.
+  uint64_t total_postings = 0;  ///< Across the whole index (all fields).
+  double mean_fanout = 0.0;     ///< Mean documents per vocabulary token.
+};
+
+/// A RemoteTextSource with the two cooperative capabilities. Also usable
+/// through the plain TextSource interface, so every existing method works
+/// unchanged.
+class CooperativeTextSource final : public TextSource {
+ public:
+  /// `engine` must outlive this object. `max_batch` bounds SearchBatch
+  /// sizes (a server-side limit, like M for terms).
+  explicit CooperativeTextSource(const TextEngine* engine,
+                                 size_t max_batch = 32)
+      : engine_(engine), inner_(engine), max_batch_(max_batch) {}
+
+  // --- plain loose-integration surface (delegates, fully metered) ---
+  Result<std::vector<std::string>> Search(const TextQuery& query) override {
+    return inner_.Search(query);
+  }
+  Result<Document> Fetch(const std::string& docid) override {
+    return inner_.Fetch(docid);
+  }
+  size_t max_search_terms() const override {
+    return inner_.max_search_terms();
+  }
+  size_t num_documents() const override { return inner_.num_documents(); }
+
+  // --- extension 1: batched searches ---
+
+  /// Maximum searches per SearchBatch invocation.
+  size_t max_batch_size() const { return max_batch_; }
+
+  /// Evaluates up to max_batch_size() searches in ONE invocation: charges
+  /// 1 invocation + the postings each search scans + short-form
+  /// transmission per result, preserving query-answer correspondence.
+  /// Fails (whole batch) if any query exceeds the term limit.
+  Result<std::vector<std::vector<std::string>>> SearchBatch(
+      const std::vector<const TextQuery*>& queries);
+
+  // --- extension 2: vocabulary statistics ---
+
+  /// Document frequencies of `terms` in `field`, answered from the main-
+  /// memory dictionary: one invocation, one short-form unit per term, no
+  /// posting scans. Multi-token (phrase) terms report the minimum of their
+  /// tokens' frequencies — an upper bound the dictionary can provide.
+  Result<std::vector<size_t>> LookupFrequencies(
+      const std::string& field, const std::vector<std::string>& terms);
+
+  /// Field-level vocabulary summary (one invocation).
+  Result<FieldStatistics> GetFieldStatistics(const std::string& field);
+
+  AccessMeter& meter() { return inner_.meter(); }
+  const AccessMeter& meter() const { return inner_.meter(); }
+  void ResetMeter() { inner_.ResetMeter(); }
+  RemoteTextSource& inner() { return inner_; }
+
+ private:
+  const TextEngine* engine_;
+  RemoteTextSource inner_;
+  size_t max_batch_;
+};
+
+/// Estimates s_i / f_i for `column_index in field` using LookupFrequencies
+/// — the probe-free statistics path of Section 8. Exact (it covers every
+/// distinct value) at a per-invocation cost of ceil(values / batch) where
+/// batch = max_batch_size() terms per dictionary call.
+Result<PredicateStatsEstimate> EstimatePredicateStatsCooperative(
+    const Table& table, size_t column_index, CooperativeTextSource& source,
+    const std::string& field);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CONNECTOR_COOPERATIVE_H_

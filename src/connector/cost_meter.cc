@@ -1,0 +1,19 @@
+#include "connector/cost_meter.h"
+
+#include <cstdio>
+
+namespace textjoin {
+
+std::string AccessMeter::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "inv=%llu post=%llu short=%llu long=%llu rmatch=%llu",
+                static_cast<unsigned long long>(invocations),
+                static_cast<unsigned long long>(postings_processed),
+                static_cast<unsigned long long>(short_docs),
+                static_cast<unsigned long long>(long_docs),
+                static_cast<unsigned long long>(relational_matches));
+  return buf;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,27 @@
+#include "connector/remote_text_source.h"
+
+namespace textjoin {
+
+Result<std::vector<std::string>> RemoteTextSource::Search(
+    const TextQuery& query) {
+  Result<EngineSearchResult> result = engine_->Search(query);
+  if (!result.ok()) return result.status();
+  active_meter_->invocations += 1;
+  active_meter_->postings_processed += result->postings_processed;
+  active_meter_->short_docs += result->docs.size();
+  std::vector<std::string> docids;
+  docids.reserve(result->docs.size());
+  for (DocNum num : result->docs) {
+    docids.push_back(engine_->GetDocument(num).docid);
+  }
+  return docids;
+}
+
+Result<Document> RemoteTextSource::Fetch(const std::string& docid) {
+  Result<DocNum> num = engine_->FindDocid(docid);
+  if (!num.ok()) return num.status();
+  active_meter_->long_docs += 1;
+  return engine_->GetDocument(*num);
+}
+
+}  // namespace textjoin

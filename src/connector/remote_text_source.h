@@ -1,0 +1,73 @@
+#ifndef TEXTJOIN_CONNECTOR_REMOTE_TEXT_SOURCE_H_
+#define TEXTJOIN_CONNECTOR_REMOTE_TEXT_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "connector/cost_meter.h"
+#include "connector/text_source.h"
+#include "text/searchable.h"
+
+/// \file
+/// The simulated remote text server: a TextEngine behind the TextSource
+/// interface, with every access billed to an AccessMeter.
+
+namespace textjoin {
+
+/// Wraps a SearchableCorpus (in-memory TextEngine or on-disk
+/// DiskTextEngine) as an external source and meters every access:
+/// Search charges one invocation, the postings the engine scanned, and one
+/// short-form transmission per result docid; Fetch charges one long-form
+/// transmission (the paper calibrated the long-form constant to include the
+/// per-retrieval connection).
+class RemoteTextSource final : public TextSource {
+ public:
+  /// `engine` must outlive this object.
+  explicit RemoteTextSource(const SearchableCorpus* engine)
+      : engine_(engine) {}
+
+  Result<std::vector<std::string>> Search(const TextQuery& query) override;
+  Result<Document> Fetch(const std::string& docid) override;
+  size_t max_search_terms() const override {
+    return engine_->max_search_terms();
+  }
+  size_t num_documents() const override { return engine_->num_documents(); }
+
+  /// The meter currently being charged.
+  AccessMeter& meter() { return *active_meter_; }
+  const AccessMeter& meter() const { return *active_meter_; }
+
+  /// Redirects charging to `meter` (e.g. to a separate statistics meter
+  /// during sampling, whose cost the paper amortizes across queries).
+  /// Passing nullptr restores the internal meter.
+  void SetMeter(AccessMeter* meter) {
+    active_meter_ = meter != nullptr ? meter : &own_meter_;
+  }
+
+  /// Resets the internal meter (does not touch a redirected meter).
+  void ResetMeter() { own_meter_.Reset(); }
+
+ private:
+  const SearchableCorpus* engine_;
+  AccessMeter own_meter_;
+  AccessMeter* active_meter_ = &own_meter_;
+};
+
+/// RAII guard that redirects a RemoteTextSource's charges for a scope.
+class ScopedMeter {
+ public:
+  ScopedMeter(RemoteTextSource& source, AccessMeter* meter)
+      : source_(source) {
+    source_.SetMeter(meter);
+  }
+  ~ScopedMeter() { source_.SetMeter(nullptr); }
+  ScopedMeter(const ScopedMeter&) = delete;
+  ScopedMeter& operator=(const ScopedMeter&) = delete;
+
+ private:
+  RemoteTextSource& source_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CONNECTOR_REMOTE_TEXT_SOURCE_H_

@@ -1,0 +1,52 @@
+#include "connector/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "text/query.h"
+
+namespace textjoin {
+
+Result<PredicateStatsEstimate> EstimatePredicateStats(
+    const Table& table, size_t column_index, TextSource& source,
+    const std::string& field, size_t sample_size, Rng& rng) {
+  if (column_index >= table.schema().num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(column_index) +
+                              " out of range for table " + table.name());
+  }
+  // Collect the distinct string terms of the column.
+  std::unordered_set<std::string> distinct;
+  for (const Row& row : table.rows()) {
+    const Value& v = row.at(column_index);
+    if (v.type() == ValueType::kString) distinct.insert(v.AsString());
+  }
+  std::vector<std::string> terms(distinct.begin(), distinct.end());
+  if (terms.empty()) {
+    return Status::InvalidArgument("column has no string values to sample");
+  }
+  // Deterministic order before shuffling so estimates are reproducible.
+  std::sort(terms.begin(), terms.end());
+  rng.Shuffle(terms);
+  if (terms.size() > sample_size) terms.resize(sample_size);
+
+  size_t matched = 0;
+  uint64_t total_docs = 0;
+  for (const std::string& term : terms) {
+    TextQueryPtr probe = TextQuery::Term(field, term);
+    Result<std::vector<std::string>> result = source.Search(*probe);
+    if (!result.ok()) return result.status();
+    if (!result->empty()) ++matched;
+    total_docs += result->size();
+  }
+
+  PredicateStatsEstimate est;
+  est.sample_size = terms.size();
+  est.selectivity = static_cast<double>(matched) /
+                    static_cast<double>(terms.size());
+  est.fanout = static_cast<double>(total_docs) /
+               static_cast<double>(terms.size());
+  return est;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,43 @@
+#ifndef TEXTJOIN_CONNECTOR_SAMPLER_H_
+#define TEXTJOIN_CONNECTOR_SAMPLER_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "connector/text_source.h"
+#include "relational/table.h"
+
+/// \file
+/// Predicate selectivity / fanout estimation by sampling (paper Section
+/// 4.2): "We sample terms from column i, access the text retrieval system
+/// to check if they appear in field i of some document, and obtain the
+/// frequencies if so."
+
+namespace textjoin {
+
+/// Estimated statistics for one text join predicate `column in field`.
+struct PredicateStatsEstimate {
+  /// s_i — probability that a term drawn from the column matches at least
+  /// one document in the field.
+  double selectivity = 0.0;
+  /// f_i — unconditional mean number of documents a term from the column
+  /// matches (zero-matching terms included), so that the expected result
+  /// size of n single-term searches is n * fanout.
+  double fanout = 0.0;
+  /// Number of distinct column values actually probed.
+  size_t sample_size = 0;
+};
+
+/// Samples up to `sample_size` distinct values of column `column_index` of
+/// `table`, issues one short-form search per sampled term against `field`
+/// of `source`, and returns the estimates. The caller is responsible for
+/// meter redirection if sampling cost must be tracked separately (the paper
+/// amortizes it across queries with the same predicate).
+Result<PredicateStatsEstimate> EstimatePredicateStats(
+    const Table& table, size_t column_index, TextSource& source,
+    const std::string& field, size_t sample_size, Rng& rng);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CONNECTOR_SAMPLER_H_

@@ -1,0 +1,43 @@
+#ifndef TEXTJOIN_CONNECTOR_TEXT_SOURCE_H_
+#define TEXTJOIN_CONNECTOR_TEXT_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/document.h"
+#include "text/query.h"
+
+/// \file
+/// The loose-integration boundary (paper Section 2.3): the database system
+/// accesses the text retrieval system ONLY via search and retrieve. The
+/// text system's internal structures are not visible through this
+/// interface, and no links between relational tuples and documents exist.
+
+namespace textjoin {
+
+/// Abstract external text source. All join methods in src/core are written
+/// against this interface; they never touch the engine directly.
+class TextSource {
+ public:
+  virtual ~TextSource() = default;
+
+  /// Evaluates a Boolean search and returns the short-form result set: the
+  /// docids of matching documents. Fails with ResourceExhausted when the
+  /// query exceeds max_search_terms() basic terms.
+  virtual Result<std::vector<std::string>> Search(const TextQuery& query) = 0;
+
+  /// Retrieves the long form (all fields) of one document by docid.
+  virtual Result<Document> Fetch(const std::string& docid) = 0;
+
+  /// The per-search term limit M (70 for Mercury).
+  virtual size_t max_search_terms() const = 0;
+
+  /// Total number of documents D. The paper assumes this piece of
+  /// "statistical meta information" is extractable (Section 2.3).
+  virtual size_t num_documents() const = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CONNECTOR_TEXT_SOURCE_H_

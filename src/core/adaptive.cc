@@ -1,0 +1,85 @@
+#include "core/adaptive.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "core/join_methods_internal.h"
+
+namespace textjoin {
+
+Result<AdaptiveResult> ExecuteProbeRTPAdaptive(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    TextSource& source, PredicateMask probe_mask, size_t fetch_budget) {
+  TEXTJOIN_RETURN_IF_ERROR(internal::ValidateProbeMask(spec, probe_mask));
+  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
+                            internal::ResolveSpec(spec));
+  const PredicateMask all = FullMask(spec.joins.size());
+
+  AdaptiveResult out;
+  out.join.schema = rspec.output_schema;
+
+  // Phase 1 — probes per distinct probe-column combination (short form).
+  const auto probe_groups =
+      internal::GroupByTerms(rspec, left_rows, probe_mask);
+  std::map<std::vector<std::string>, std::vector<std::string>> probe_docs;
+  std::set<std::string> distinct_candidates;
+  for (const auto& [probe_terms, row_indices] : probe_groups) {
+    TextQueryPtr probe =
+        internal::BuildSearch(rspec, probe_terms, probe_mask);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                              source.Search(*probe));
+    if (docids.empty()) continue;
+    distinct_candidates.insert(docids.begin(), docids.end());
+    probe_docs[probe_terms] = std::move(docids);
+  }
+  out.candidate_docs = distinct_candidates.size();
+
+  if (out.candidate_docs <= fetch_budget) {
+    // Phase 2a — within budget: fetch once per distinct doc and finish by
+    // relational matching, exactly as P+RTP.
+    out.outcome = AdaptiveOutcome::kFetched;
+    std::unordered_map<std::string, Document> fetched;
+    for (const auto& [probe_terms, docids] : probe_docs) {
+      auto group_it = probe_groups.find(probe_terms);
+      TEXTJOIN_CHECK(group_it != probe_groups.end(), "group lookup");
+      std::vector<const Document*> combo_docs;
+      for (const std::string& docid : docids) {
+        auto it = fetched.find(docid);
+        if (it == fetched.end()) {
+          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+          it = fetched.emplace(docid, std::move(doc)).first;
+        }
+        combo_docs.push_back(&it->second);
+      }
+      internal::ChargeRelationalMatches(source, combo_docs.size());
+      for (const Document* doc : combo_docs) {
+        Row doc_row = internal::DocumentToRow(spec.text, *doc);
+        for (size_t r : group_it->second) {
+          if (internal::DocMatchesRow(rspec, left_rows[r], *doc,
+                                      all & ~probe_mask)) {
+            out.join.rows.push_back(ConcatRows(left_rows[r], doc_row));
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Phase 2b — the estimates were wrong: switch to tuple substitution for
+  // the tuples whose probes succeeded. No candidate is fetched; each full
+  // search returns exactly the matching documents.
+  out.outcome = AdaptiveOutcome::kSwitched;
+  std::vector<Row> survivors;
+  for (const auto& [probe_terms, docids] : probe_docs) {
+    auto group_it = probe_groups.find(probe_terms);
+    for (size_t r : group_it->second) survivors.push_back(left_rows[r]);
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      ForeignJoinResult ts,
+      ExecuteForeignJoin(JoinMethodKind::kTS, spec, survivors, source));
+  out.join.rows = std::move(ts.rows);
+  return out;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,50 @@
+#ifndef TEXTJOIN_CORE_ADAPTIVE_H_
+#define TEXTJOIN_CORE_ADAPTIVE_H_
+
+#include <vector>
+
+#include "core/join_methods.h"
+
+/// \file
+/// Runtime re-optimization for probe + RTP (end of paper Section 5):
+/// "although probe, followed by relational text processing is an
+/// attractive join method, it suffers from the danger that if the
+/// selectivity and fanout estimates are unreliable, then too many
+/// documents are fetched. We rely on runtime optimization techniques to
+/// address such difficulties."
+///
+/// The adaptive method sends the probes first (cheap, short form), then
+/// *counts* the documents the successful probes matched before fetching
+/// anything. If the count is within the optimizer's fetch budget, it
+/// proceeds as P+RTP; if the estimates were wrong and the count blows
+/// past the budget, it switches to tuple substitution over the surviving
+/// tuples instead — reusing the probe outcomes it already paid for, and
+/// never fetching the oversized candidate set.
+
+namespace textjoin {
+
+/// What the adaptive execution ended up doing.
+enum class AdaptiveOutcome {
+  kFetched,    ///< Candidate count within budget — completed as P+RTP.
+  kSwitched,   ///< Budget exceeded — completed as TS over survivors.
+};
+
+/// Result of an adaptive P+RTP execution.
+struct AdaptiveResult {
+  ForeignJoinResult join;
+  AdaptiveOutcome outcome = AdaptiveOutcome::kFetched;
+  size_t candidate_docs = 0;  ///< Distinct docs the probes matched.
+};
+
+/// Executes P+RTP with a runtime fetch budget. Produces exactly the same
+/// rows as ExecuteForeignJoin(kPRTP, ...) regardless of which path runs.
+/// `fetch_budget` is the maximum number of distinct long-form retrievals
+/// the optimizer is willing to pay (e.g. derived from the predicted count
+/// times a slack factor).
+Result<AdaptiveResult> ExecuteProbeRTPAdaptive(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    TextSource& source, PredicateMask probe_mask, size_t fetch_budget);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_ADAPTIVE_H_

@@ -1,0 +1,81 @@
+#include "core/batched_ts.h"
+
+#include <cmath>
+
+#include "core/join_methods_internal.h"
+
+namespace textjoin {
+
+Result<ForeignJoinResult> ExecuteTupleSubstitutionBatched(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    CooperativeTextSource& source) {
+  if (spec.selections.empty() && spec.joins.empty()) {
+    return Status::InvalidArgument(
+        "batched TS needs at least one text predicate to instantiate");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
+                            internal::ResolveSpec(spec));
+  const PredicateMask all = FullMask(spec.joins.size());
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+
+  const auto groups = internal::GroupByTerms(rspec, left_rows, all);
+  // Materialize the per-combination searches in deterministic order.
+  std::vector<TextQueryPtr> searches;
+  std::vector<const std::vector<size_t>*> group_rows;
+  for (const auto& [terms, row_indices] : groups) {
+    searches.push_back(internal::BuildSearch(rspec, terms, all));
+    group_rows.push_back(&row_indices);
+  }
+
+  for (size_t start = 0; start < searches.size();
+       start += source.max_batch_size()) {
+    const size_t count =
+        std::min(source.max_batch_size(), searches.size() - start);
+    std::vector<const TextQuery*> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      batch.push_back(searches[start + i].get());
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> answers,
+                              source.SearchBatch(batch));
+    TEXTJOIN_CHECK(answers.size() == count,
+                   "batch answer correspondence violated");
+    for (size_t i = 0; i < count; ++i) {
+      const std::vector<std::string>& docids = answers[i];
+      if (docids.empty()) continue;
+      std::vector<Row> doc_rows;
+      doc_rows.reserve(docids.size());
+      for (const std::string& docid : docids) {
+        if (spec.need_document_fields) {
+          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+          doc_rows.push_back(internal::DocumentToRow(spec.text, doc));
+        } else {
+          doc_rows.push_back(internal::DocidOnlyRow(spec.text, docid));
+        }
+      }
+      for (size_t r : *group_rows[start + i]) {
+        for (const Row& doc_row : doc_rows) {
+          result.rows.push_back(ConcatRows(left_rows[r], doc_row));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double CostTSBatched(const CostModel& model, size_t batch_size) {
+  TEXTJOIN_CHECK(batch_size > 0, "batch size must be positive");
+  const PredicateMask all = FullMask(model.num_predicates());
+  const double n = model.DistinctCombinations(all);
+  const double batches =
+      std::ceil(n / static_cast<double>(batch_size));
+  const double transmit = model.stats().need_document_fields
+                              ? model.params().long_form
+                              : model.params().short_form;
+  return model.params().invocation * batches +
+         model.params().per_posting * model.PostingsScanned(n, all) +
+         transmit * model.TotalMatchedDocs(n, all);
+}
+
+}  // namespace textjoin

@@ -1,0 +1,31 @@
+#ifndef TEXTJOIN_CORE_BATCHED_TS_H_
+#define TEXTJOIN_CORE_BATCHED_TS_H_
+
+#include <vector>
+
+#include "connector/cooperative.h"
+#include "core/join_methods.h"
+
+/// \file
+/// Batched tuple substitution — the join method the Section-8 batched-
+/// invocation extension enables. Semantically identical to TS (one
+/// conjunctive search per distinct join-column combination, each answer
+/// attributed to its own combination), but searches are shipped
+/// max_batch_size() at a time, so the invocation component of the cost
+/// drops from c_i * N_K to c_i * ceil(N_K / B).
+
+namespace textjoin {
+
+/// Executes tuple substitution over a batching source. Produces exactly
+/// the same result rows as ExecuteForeignJoin(kTS, ...).
+Result<ForeignJoinResult> ExecuteTupleSubstitutionBatched(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    CooperativeTextSource& source);
+
+/// The corresponding cost formula: CostTS with the invocation term divided
+/// by the batch size B.
+double CostTSBatched(const CostModel& model, size_t batch_size);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_BATCHED_TS_H_

@@ -1,0 +1,181 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace textjoin {
+
+PredicateMask FullMask(size_t k) {
+  TEXTJOIN_CHECK(k <= 31, "at most 31 text join predicates supported");
+  return static_cast<PredicateMask>((1u << k) - 1u);
+}
+
+std::string MaskToString(PredicateMask mask) {
+  std::string out = "{";
+  bool first = true;
+  for (uint32_t i = 0; i < 32; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    if (!first) out += ",";
+    out += std::to_string(i + 1);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+CostModel::CostModel(CostParams params, ForeignJoinStats stats)
+    : params_(params), stats_(std::move(stats)) {
+  TEXTJOIN_CHECK(stats_.num_documents > 0, "cost model needs D > 0");
+  TEXTJOIN_CHECK(stats_.correlation_g >= 1, "correlation g must be >= 1");
+}
+
+std::vector<double> CostModel::SortedStats(PredicateMask mask,
+                                           bool selectivity) const {
+  std::vector<double> values;
+  for (size_t i = 0; i < stats_.predicates.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    values.push_back(selectivity ? stats_.predicates[i].selectivity
+                                 : stats_.predicates[i].fanout);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+double CostModel::JointSelectivity(PredicateMask mask) const {
+  const std::vector<double> s = SortedStats(mask, /*selectivity=*/true);
+  if (s.empty()) return 1.0;
+  const size_t g = std::min<size_t>(s.size(),
+                                    static_cast<size_t>(stats_.correlation_g));
+  double joint = 1.0;
+  for (size_t i = 0; i < g; ++i) joint *= s[i];
+  return joint;
+}
+
+double CostModel::JointFanout(PredicateMask mask) const {
+  const std::vector<double> f = SortedStats(mask, /*selectivity=*/false);
+  double joint;
+  if (f.empty()) {
+    // No join predicates in the subset: a search matches whatever the text
+    // selections match.
+    joint = stats_.num_selection_terms > 0 ? stats_.selection_match_docs
+                                           : stats_.num_documents;
+    return joint;
+  }
+  const size_t g = std::min<size_t>(f.size(),
+                                    static_cast<size_t>(stats_.correlation_g));
+  joint = 1.0;
+  for (size_t i = 0; i < g; ++i) joint *= f[i];
+  joint /= std::pow(stats_.num_documents, static_cast<double>(g) - 1.0);
+  // Independent narrowing by the text selections (if any).
+  if (stats_.num_selection_terms > 0 && stats_.num_documents > 0) {
+    joint *= std::min(1.0, stats_.selection_match_docs / stats_.num_documents);
+  }
+  return joint;
+}
+
+double CostModel::DistinctCombinations(PredicateMask mask) const {
+  double product = 1.0;
+  bool any = false;
+  for (size_t i = 0; i < stats_.predicates.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    product *= std::max(1.0, stats_.predicates[i].num_distinct);
+    any = true;
+  }
+  if (!any) return 0.0;
+  return std::min(product, stats_.num_tuples);
+}
+
+double CostModel::TotalMatchedDocs(double n, PredicateMask mask) const {
+  return n * JointFanout(mask);
+}
+
+double CostModel::DistinctMatchedDocs(double n, PredicateMask mask) const {
+  const double d = stats_.num_documents;
+  const double f = std::min(JointFanout(mask), d);
+  if (d <= 0.0) return 0.0;
+  return d * (1.0 - std::pow(1.0 - f / d, n));
+}
+
+double CostModel::PostingsScanned(double n, PredicateMask mask) const {
+  double per_search = stats_.selection_postings;
+  for (size_t i = 0; i < stats_.predicates.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    // A posting list for a term from column i has ~f_i postings (width-1
+    // posting assumption, as in the paper).
+    per_search += stats_.predicates[i].fanout;
+  }
+  return n * per_search;
+}
+
+double CostModel::CostTS() const {
+  const PredicateMask all = FullMask(stats_.predicates.size());
+  const double n = DistinctCombinations(all);
+  const double transmit = stats_.need_document_fields ? params_.long_form
+                                                      : params_.short_form;
+  return params_.invocation * n +
+         params_.per_posting * PostingsScanned(n, all) +
+         transmit * TotalMatchedDocs(n, all);
+}
+
+double CostModel::CostRTP() const {
+  // One selection-only search; fetch and SQL-match each matching document.
+  const double docs = stats_.selection_match_docs;
+  return params_.invocation +
+         params_.per_posting * stats_.selection_postings +
+         (params_.long_form + params_.relational_match) * docs;
+}
+
+double CostModel::CostSJ() const {
+  const PredicateMask all = FullMask(stats_.predicates.size());
+  const double n = DistinctCombinations(all);
+  // Each disjunct carries one term per join predicate; the selection terms
+  // are shared per batch, so the batch capacity is reduced by them.
+  const double terms_per_disjunct =
+      std::max<double>(1.0, stats_.predicates.size());
+  const double capacity =
+      std::max(1.0, stats_.max_terms - stats_.num_selection_terms);
+  const double batches = std::ceil(n * terms_per_disjunct / capacity);
+  return params_.invocation * batches +
+         params_.per_posting * PostingsScanned(n, all) +
+         params_.short_form * DistinctMatchedDocs(n, all);
+}
+
+double CostModel::CostSJRTP() const {
+  const PredicateMask all = FullMask(stats_.predicates.size());
+  const double n = DistinctCombinations(all);
+  const double distinct_docs = DistinctMatchedDocs(n, all);
+  return CostSJ() +
+         (params_.long_form + params_.relational_match) * distinct_docs;
+}
+
+double CostModel::CostProbe(PredicateMask mask) const {
+  const double n = DistinctCombinations(mask);
+  return params_.invocation * n +
+         params_.per_posting * PostingsScanned(n, mask) +
+         params_.short_form * TotalMatchedDocs(n, mask);
+}
+
+double CostModel::CostProbeTS(PredicateMask mask) const {
+  const PredicateMask all = FullMask(stats_.predicates.size());
+  // Surviving distinct combinations after the probe: the full-key distinct
+  // count thinned by the probe subset's joint selectivity.
+  const double survivors = DistinctCombinations(all) * JointSelectivity(mask);
+  const double transmit = stats_.need_document_fields ? params_.long_form
+                                                      : params_.short_form;
+  return CostProbe(mask) + params_.invocation * survivors +
+         params_.per_posting * PostingsScanned(survivors, all) +
+         transmit * TotalMatchedDocs(survivors, all);
+}
+
+double CostModel::CostProbeRTP(PredicateMask mask) const {
+  // Failed probes match no documents, so the documents to fetch are exactly
+  // the distinct documents the probe phase matched.
+  const double n = DistinctCombinations(mask);
+  const double docs = DistinctMatchedDocs(n, mask);
+  return CostProbe(mask) +
+         (params_.long_form + params_.relational_match) * docs;
+}
+
+}  // namespace textjoin

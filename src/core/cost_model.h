@@ -1,0 +1,141 @@
+#ifndef TEXTJOIN_CORE_COST_MODEL_H_
+#define TEXTJOIN_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "connector/cost_meter.h"
+
+/// \file
+/// The analytical cost model of Section 4 of the paper: per-predicate
+/// selectivity/fanout statistics, g-correlated joint statistics, the
+/// derived quantities V (total matched docs), U (distinct matched docs) and
+/// L (inverted-list postings scanned), and closed-form cost formulas for
+/// each join method.
+///
+/// Conventions (see DESIGN.md §3 "Cost model conventions"):
+///  - fanout f_i is the *unconditional* mean number of documents a term
+///    from column i matches, so V_{n,J} = n * F_{g,J};
+///  - joint stats for a predicate set use the g most selective predicates:
+///    S = prod of g smallest s_i, F = (prod of g smallest f_i) / D^(g-1);
+///  - text selections are folded in as an independent narrowing factor and
+///    as extra postings per search, which the paper omits from the printed
+///    formulas but our simulated server physically charges. This strictly
+///    improves prediction fidelity without changing any ranking the paper
+///    reports.
+
+namespace textjoin {
+
+/// Statistics for one text join predicate (column_i in field_i).
+struct TextPredicateStats {
+  double selectivity = 0.0;   ///< s_i: P(term from column matches >=1 doc).
+  double fanout = 0.0;        ///< f_i: unconditional mean docs matched.
+  double num_distinct = 0.0;  ///< N_i: distinct values in the column.
+};
+
+/// Everything the formulas need about one foreign join.
+struct ForeignJoinStats {
+  double num_tuples = 0.0;  ///< N: joining (outer relation) tuples.
+  double num_documents = 0.0;  ///< D: documents in the text database.
+  double max_terms = 70.0;     ///< M: per-search term limit.
+  std::vector<TextPredicateStats> predicates;  ///< One per text join pred.
+  int correlation_g = 1;  ///< g of the g-correlated model (1 = fully
+                          ///< correlated, k = independent).
+  /// Whether the query's output needs document fields beyond docid. When
+  /// false, TS-family methods transmit short forms only (the paper's Q2-Q4
+  /// regime), while the RTP family still retrieves long forms for
+  /// relational matching.
+  bool need_document_fields = true;
+
+  // --- text selections on the query (may be empty) ---
+  double selection_match_docs = 0.0;  ///< Expected docs passing the text
+                                      ///< selections alone.
+  double selection_postings = 0.0;    ///< Inverted-list postings read to
+                                      ///< evaluate the selections once.
+  double num_selection_terms = 0.0;   ///< Basic terms in the selections.
+};
+
+/// A subset of join predicates, as a bitmask over indices into
+/// ForeignJoinStats::predicates. Bit i set = predicate i in the subset.
+using PredicateMask = uint32_t;
+
+/// Returns the mask with all k predicates.
+PredicateMask FullMask(size_t k);
+
+/// Renders a mask as "{1,3}" (1-based, matching the paper's column
+/// numbering).
+std::string MaskToString(PredicateMask mask);
+
+/// The Section 4 cost model for a single foreign join.
+class CostModel {
+ public:
+  CostModel(CostParams params, ForeignJoinStats stats);
+
+  const CostParams& params() const { return params_; }
+  const ForeignJoinStats& stats() const { return stats_; }
+  size_t num_predicates() const { return stats_.predicates.size(); }
+
+  /// S_{g,J}: joint selectivity of the predicate subset `mask`.
+  double JointSelectivity(PredicateMask mask) const;
+
+  /// F_{g,J}: joint (unconditional) fanout of the subset, including the
+  /// independent narrowing by the text selections.
+  double JointFanout(PredicateMask mask) const;
+
+  /// N_J = min(prod_{i in J} N_i, N): distinct combinations in the
+  /// projection of the relation onto the probe columns. The product form
+  /// deliberately overestimates (paper Section 4.3), which biases against
+  /// probing unless it is clearly better.
+  double DistinctCombinations(PredicateMask mask) const;
+
+  /// V_{n,J} = n * F_{g,J}: total documents across n result sets.
+  double TotalMatchedDocs(double n, PredicateMask mask) const;
+
+  /// U_{n,J} = D * (1 - (1 - F/D)^n): distinct documents across n searches.
+  double DistinctMatchedDocs(double n, PredicateMask mask) const;
+
+  /// L_{n,J}: postings scanned by n searches instantiating the subset
+  /// (join-column lists plus the selection lists each search rereads).
+  double PostingsScanned(double n, PredicateMask mask) const;
+
+  // ---- Method cost formulas (Section 4.3) ----
+
+  /// Tuple substitution with the distinct-tuple variant: one long-form
+  /// search per distinct join-column combination.
+  double CostTS() const;
+
+  /// Relational text processing: one selection-only search, fetch the
+  /// matching documents, match them in SQL. Requires text selections.
+  double CostRTP() const;
+
+  /// Semi-join: OR-batched disjuncts, ceil(N_K * terms_per_disjunct / M)
+  /// invocations, short-form distinct docids back.
+  double CostSJ() const;
+
+  /// SJ followed by relational text processing of the distinct matched
+  /// documents (long-form fetch + SQL matching).
+  double CostSJRTP() const;
+
+  /// The probe phase on subset `mask`: short-form searches per distinct
+  /// combination.
+  double CostProbe(PredicateMask mask) const;
+
+  /// Probe on `mask`, then tuple substitution for surviving tuples.
+  double CostProbeTS(PredicateMask mask) const;
+
+  /// Probe on `mask`, then long-form fetch of the documents the successful
+  /// probes matched, then relational matching of the remaining predicates.
+  double CostProbeRTP(PredicateMask mask) const;
+
+ private:
+  /// Sorted (ascending) selectivities/fanouts of the predicates in `mask`.
+  std::vector<double> SortedStats(PredicateMask mask, bool selectivity) const;
+
+  CostParams params_;
+  ForeignJoinStats stats_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_COST_MODEL_H_

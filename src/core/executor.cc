@@ -1,0 +1,501 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "common/text_match.h"
+#include "connector/remote_text_source.h"
+#include "core/join_methods.h"
+#include "relational/operators.h"
+
+namespace textjoin {
+
+namespace {
+
+/// Snapshot of the source's meter (zeros when the source is unmetered).
+AccessMeter MeterSnapshot(TextSource* source) {
+  if (auto* remote = dynamic_cast<RemoteTextSource*>(source)) {
+    return remote->meter();
+  }
+  return AccessMeter{};
+}
+
+/// a - b, fieldwise.
+AccessMeter MeterDelta(const AccessMeter& a, const AccessMeter& b) {
+  AccessMeter d;
+  d.invocations = a.invocations - b.invocations;
+  d.postings_processed = a.postings_processed - b.postings_processed;
+  d.short_docs = a.short_docs - b.short_docs;
+  d.long_docs = a.long_docs - b.long_docs;
+  d.relational_matches = a.relational_matches - b.relational_matches;
+  return d;
+}
+
+}  // namespace
+
+ForeignJoinSpec PlanExecutor::BuildSpec(const FederatedQuery& query,
+                                        const Schema& left_schema) const {
+  ForeignJoinSpec spec;
+  spec.left_schema = left_schema;
+  spec.selections = query.text_selections;
+  spec.joins = query.text_joins;
+  spec.text = query.text;
+  spec.need_document_fields = query.NeedsDocumentFields();
+  // The projection decides whether outer columns are needed; every
+  // relational predicate has already been applied below the foreign join.
+  bool needs_left = query.output_columns.empty() && left_schema.num_columns();
+  for (const std::string& ref : query.output_columns) {
+    if (left_schema.Resolve(ref).ok()) needs_left = true;
+  }
+  spec.left_columns_needed = needs_left;
+  return spec;
+}
+
+Result<ExecutionResult> PlanExecutor::Exec(const PlanNode& node,
+                                           const FederatedQuery& query,
+                                           ExecutionProfile* profile) {
+  TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result, ExecNode(node, query, profile));
+  if (profile != nullptr) {
+    profile->nodes[&node].actual_rows = result.rows.size();
+  }
+  return result;
+}
+
+Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
+                                               const FederatedQuery& query,
+                                               ExecutionProfile* profile) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan: {
+      TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                                catalog_->GetTable(node.table_name));
+      ExecutionResult result;
+      result.schema = node.output_schema;
+      for (const Row& row : table->rows()) {
+        bool pass = true;
+        for (const ExprPtr& filter : node.filters) {
+          ExprPtr bound = filter->Clone();
+          TEXTJOIN_RETURN_IF_ERROR(bound->Bind(result.schema));
+          if (!ValueIsTrue(bound->Eval(row))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) result.rows.push_back(row);
+      }
+      return result;
+    }
+    case PlanNode::Kind::kProbe: {
+      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult child,
+                                Exec(*node.left, query, profile));
+      const AccessMeter before = MeterSnapshot(source_);
+      ForeignJoinSpec spec;
+      spec.left_schema = child.schema;
+      spec.selections = query.text_selections;
+      spec.text = query.text;
+      for (size_t i : node.probe_pred_indices) {
+        spec.joins.push_back(query.text_joins.at(i));
+      }
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          std::vector<Row> survivors,
+          ProbeSemiJoinReduce(spec, child.rows, *source_,
+                              FullMask(spec.joins.size())));
+      if (profile != nullptr) {
+        profile->nodes[&node].meter_delta =
+            MeterDelta(MeterSnapshot(source_), before);
+      }
+      ExecutionResult result;
+      result.schema = child.schema;
+      result.rows = std::move(survivors);
+      return result;
+    }
+    case PlanNode::Kind::kForeignJoin: {
+      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult child,
+                                Exec(*node.left, query, profile));
+      const AccessMeter before = MeterSnapshot(source_);
+      ForeignJoinSpec spec = BuildSpec(query, child.schema);
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          ForeignJoinResult joined,
+          ExecuteForeignJoin(node.method.method, spec, child.rows, *source_,
+                             node.method.probe_mask));
+      if (profile != nullptr) {
+        profile->nodes[&node].meter_delta =
+            MeterDelta(MeterSnapshot(source_), before);
+      }
+      ExecutionResult result;
+      result.schema = std::move(joined.schema);
+      result.rows = std::move(joined.rows);
+      return result;
+    }
+    case PlanNode::Kind::kRelationalJoin: {
+      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult lhs,
+                                Exec(*node.left, query, profile));
+      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult rhs,
+                                Exec(*node.right, query, profile));
+      ExprPtr residual;
+      std::vector<ExprPtr> residual_parts;
+      for (const ExprPtr& c : node.conjuncts) {
+        residual_parts.push_back(c->Clone());
+      }
+      if (!residual_parts.empty()) {
+        residual = residual_parts.size() == 1
+                       ? std::move(residual_parts[0])
+                       : And(std::move(residual_parts));
+      }
+      auto left_op =
+          std::make_unique<RowsSource>(lhs.schema, std::move(lhs.rows));
+      auto right_op =
+          std::make_unique<RowsSource>(rhs.schema, std::move(rhs.rows));
+      OperatorPtr join;
+      if (node.use_hash) {
+        join = std::make_unique<HashJoin>(std::move(left_op),
+                                          std::move(right_op),
+                                          node.hash_keys, std::move(residual));
+      } else {
+        join = std::make_unique<NestedLoopJoin>(
+            std::move(left_op), std::move(right_op), std::move(residual));
+      }
+      ExecutionResult result;
+      result.schema = join->schema();
+      result.rows = DrainOperator(*join);
+      return result;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+
+namespace {
+
+/// Applies GROUP BY + aggregates on a materialized (joined) result: the
+/// output schema becomes the group-by columns followed by one column per
+/// aggregate. Without group-by columns, a single global group (even when
+/// the input is empty, per SQL: COUNT(*) over nothing is 0).
+Status ApplyAggregation(const FederatedQuery& query, ExecutionResult& out) {
+  if (query.aggregates.empty()) return Status::OK();
+  std::vector<size_t> group_cols;
+  Schema agg_schema;
+  for (const std::string& ref : query.group_by) {
+    TEXTJOIN_ASSIGN_OR_RETURN(size_t idx, out.schema.Resolve(ref));
+    group_cols.push_back(idx);
+    agg_schema.AddColumn(out.schema.column(idx));
+  }
+  std::vector<size_t> agg_cols(query.aggregates.size(), 0);
+  for (size_t a = 0; a < query.aggregates.size(); ++a) {
+    const AggregateItem& agg = query.aggregates[a];
+    if (agg.kind != AggregateItem::Kind::kCountStar) {
+      TEXTJOIN_ASSIGN_OR_RETURN(size_t idx, out.schema.Resolve(agg.column));
+      agg_cols[a] = idx;
+    }
+    ValueType type;
+    switch (agg.kind) {
+      case AggregateItem::Kind::kCountStar:
+      case AggregateItem::Kind::kCount:
+        type = ValueType::kInt64;
+        break;
+      case AggregateItem::Kind::kSum:
+      case AggregateItem::Kind::kAvg:
+        type = ValueType::kDouble;
+        break;
+      default:
+        type = out.schema.column(agg_cols[a]).type;
+        break;
+    }
+    agg_schema.AddColumn(Column{"", agg.Name(), type});
+  }
+
+  struct GroupState {
+    std::vector<int64_t> counts;
+    std::vector<Value> mins;
+    std::vector<Value> maxs;
+    std::vector<double> sums;
+  };
+  std::map<Row, GroupState> groups;  // ordered => deterministic output
+  if (query.group_by.empty()) {
+    groups[Row{}] = GroupState{};  // the global group always exists
+  }
+  for (const Row& row : out.rows) {
+    GroupState& state = groups[ProjectRow(row, group_cols)];
+    state.counts.resize(query.aggregates.size(), 0);
+    state.mins.resize(query.aggregates.size());
+    state.maxs.resize(query.aggregates.size());
+    state.sums.resize(query.aggregates.size(), 0.0);
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggregateItem& agg = query.aggregates[a];
+      if (agg.kind == AggregateItem::Kind::kCountStar) {
+        ++state.counts[a];
+        continue;
+      }
+      const Value& v = row.at(agg_cols[a]);
+      if (v.is_null()) continue;  // SQL: aggregates skip NULLs
+      ++state.counts[a];
+      if (state.mins[a].is_null() || v < state.mins[a]) state.mins[a] = v;
+      if (state.maxs[a].is_null() || v > state.maxs[a]) state.maxs[a] = v;
+      if ((agg.kind == AggregateItem::Kind::kSum ||
+           agg.kind == AggregateItem::Kind::kAvg) &&
+          (v.type() == ValueType::kInt64 ||
+           v.type() == ValueType::kDouble)) {
+        state.sums[a] += v.NumericValue();
+      }
+    }
+  }
+  ExecutionResult aggregated;
+  aggregated.schema = std::move(agg_schema);
+  for (auto& [key, state] : groups) {
+    Row row = key;
+    state.counts.resize(query.aggregates.size(), 0);
+    state.mins.resize(query.aggregates.size());
+    state.maxs.resize(query.aggregates.size());
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      switch (query.aggregates[a].kind) {
+        case AggregateItem::Kind::kCountStar:
+        case AggregateItem::Kind::kCount:
+          row.push_back(Value::Int(state.counts[a]));
+          break;
+        case AggregateItem::Kind::kMin:
+          row.push_back(state.mins[a]);
+          break;
+        case AggregateItem::Kind::kMax:
+          row.push_back(state.maxs[a]);
+          break;
+        case AggregateItem::Kind::kSum:
+          row.push_back(state.counts[a] == 0 ? Value::Null()
+                                             : Value::Real(state.sums[a]));
+          break;
+        case AggregateItem::Kind::kAvg:
+          row.push_back(state.counts[a] == 0
+                            ? Value::Null()
+                            : Value::Real(state.sums[a] /
+                                          static_cast<double>(
+                                              state.counts[a])));
+          break;
+      }
+    }
+    aggregated.rows.push_back(std::move(row));
+  }
+  out = std::move(aggregated);
+  return Status::OK();
+}
+
+/// Applies SELECT DISTINCT / ORDER BY / LIMIT on a materialized result.
+Status ApplyDecorations(const FederatedQuery& query, ExecutionResult& out) {
+  if (query.distinct) {
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    std::vector<Row> kept;
+    for (Row& row : out.rows) {
+      if (seen.insert(row).second) kept.push_back(std::move(row));
+    }
+    out.rows = std::move(kept);
+  }
+  if (!query.order_by.empty()) {
+    std::vector<size_t> keys;
+    for (const std::string& ref : query.order_by) {
+      TEXTJOIN_ASSIGN_OR_RETURN(size_t idx, out.schema.Resolve(ref));
+      keys.push_back(idx);
+    }
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       return CompareRows(ProjectRow(a, keys),
+                                          ProjectRow(b, keys)) < 0;
+                     });
+  }
+  if (query.limit != FederatedQuery::kNoLimit &&
+      out.rows.size() > query.limit) {
+    out.rows.resize(query.limit);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExecutionResult> PlanExecutor::Execute(const PlanNode& root,
+                                              const FederatedQuery& query,
+                                              ExecutionProfile* profile) {
+  TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result,
+                            Exec(root, query, profile));
+  if (!query.aggregates.empty()) {
+    TEXTJOIN_RETURN_IF_ERROR(ApplyAggregation(query, result));
+    TEXTJOIN_RETURN_IF_ERROR(ApplyDecorations(query, result));
+    return result;
+  }
+  // SELECT *: project onto the canonical column order (FROM-list order,
+  // then the text relation), independent of the join order the plan chose.
+  std::vector<std::string> output_refs = query.output_columns;
+  if (output_refs.empty()) {
+    for (const RelationRef& rel : query.relations) {
+      TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                                catalog_->GetTable(rel.table_name));
+      for (const Column& col : table->schema().columns()) {
+        output_refs.push_back(rel.name() + "." + col.name);
+      }
+    }
+    if (query.has_text_relation) {
+      for (const Column& col : query.text.ToSchema().columns()) {
+        output_refs.push_back(query.text.alias + "." + col.name);
+      }
+    }
+  }
+  std::vector<size_t> indices;
+  Schema projected;
+  for (const std::string& ref : output_refs) {
+    TEXTJOIN_ASSIGN_OR_RETURN(size_t idx, result.schema.Resolve(ref));
+    indices.push_back(idx);
+    projected.AddColumn(result.schema.column(idx));
+  }
+  ExecutionResult out;
+  out.schema = std::move(projected);
+  out.rows.reserve(result.rows.size());
+  for (const Row& row : result.rows) {
+    out.rows.push_back(ProjectRow(row, indices));
+  }
+  TEXTJOIN_RETURN_IF_ERROR(ApplyDecorations(query, out));
+  return out;
+}
+
+Result<ExecutionResult> ReferenceExecute(
+    const FederatedQuery& query, const Catalog& catalog,
+    const std::vector<Document>& all_documents) {
+  // 1. Cross product of all relations.
+  Schema schema;
+  std::vector<Row> rows = {Row{}};
+  for (const RelationRef& rel : query.relations) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                              catalog.GetTable(rel.table_name));
+    const Schema rel_schema = table->schema().WithQualifier(rel.name());
+    schema = schema.Concat(rel_schema);
+    std::vector<Row> next;
+    next.reserve(rows.size() * table->num_rows());
+    for (const Row& acc : rows) {
+      for (const Row& row : table->rows()) {
+        next.push_back(ConcatRows(acc, row));
+      }
+    }
+    rows = std::move(next);
+  }
+  // 2. Relational predicates.
+  for (const ExprPtr& pred : query.relational_predicates) {
+    ExprPtr bound = pred->Clone();
+    TEXTJOIN_RETURN_IF_ERROR(bound->Bind(schema));
+    std::vector<Row> kept;
+    for (Row& row : rows) {
+      if (ValueIsTrue(bound->Eval(row))) kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+  ExecutionResult joined;
+  if (!query.has_text_relation) {
+    joined.schema = schema;
+    joined.rows = std::move(rows);
+  } else {
+    // 3. Cross with every document, filtering text predicates with the
+    // shared relational-side matcher.
+    std::vector<size_t> join_cols;
+    for (const TextJoinPredicate& pred : query.text_joins) {
+      TEXTJOIN_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(pred.column_ref));
+      join_cols.push_back(idx);
+    }
+    joined.schema = schema.Concat(query.text.ToSchema());
+    for (const Document& doc : all_documents) {
+      bool sel_ok = true;
+      for (const TextSelection& sel : query.text_selections) {
+        if (!TermMatchesFieldText(
+                sel.term, JoinFieldValues(doc.FieldValues(sel.field)))) {
+          sel_ok = false;
+          break;
+        }
+      }
+      if (!sel_ok) continue;
+      Row doc_row;
+      doc_row.push_back(Value::Str(doc.docid));
+      for (const std::string& field : query.text.fields) {
+        doc_row.push_back(Value::Str(JoinFieldValues(doc.FieldValues(field))));
+      }
+      for (const Row& row : rows) {
+        bool join_ok = true;
+        for (size_t p = 0; p < query.text_joins.size(); ++p) {
+          const Value& v = row.at(join_cols[p]);
+          if (v.type() != ValueType::kString ||
+              !TermMatchesFieldText(
+                  v.AsString(),
+                  JoinFieldValues(
+                      doc.FieldValues(query.text_joins[p].field)))) {
+            join_ok = false;
+            break;
+          }
+        }
+        if (join_ok) joined.rows.push_back(ConcatRows(row, doc_row));
+      }
+    }
+  }
+  // 4. Aggregation / projection / decorations.
+  if (!query.aggregates.empty()) {
+    TEXTJOIN_RETURN_IF_ERROR(ApplyAggregation(query, joined));
+    TEXTJOIN_RETURN_IF_ERROR(ApplyDecorations(query, joined));
+    return joined;
+  }
+  if (query.output_columns.empty()) {
+    TEXTJOIN_RETURN_IF_ERROR(ApplyDecorations(query, joined));
+    return joined;
+  }
+  std::vector<size_t> indices;
+  Schema projected;
+  for (const std::string& ref : query.output_columns) {
+    TEXTJOIN_ASSIGN_OR_RETURN(size_t idx, joined.schema.Resolve(ref));
+    indices.push_back(idx);
+    projected.AddColumn(joined.schema.column(idx));
+  }
+  ExecutionResult out;
+  out.schema = std::move(projected);
+  for (const Row& row : joined.rows) {
+    out.rows.push_back(ProjectRow(row, indices));
+  }
+  TEXTJOIN_RETURN_IF_ERROR(ApplyDecorations(query, out));
+  return out;
+}
+
+
+namespace {
+
+void RenderAnalyze(const PlanNode& node, const FederatedQuery& query,
+                   const ExecutionProfile& profile, const CostParams& params,
+                   int indent, std::string& out) {
+  // Reuse the plan's own one-node rendering by taking the first line of its
+  // ToString and appending the actuals.
+  const std::string rendered = node.ToString(query, indent);
+  const size_t eol = rendered.find('\n');
+  out += rendered.substr(0, eol);
+  auto it = profile.nodes.find(&node);
+  if (it != profile.nodes.end()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), " (actual rows=%zu",
+                  it->second.actual_rows);
+    out += buf;
+    const double seconds = it->second.meter_delta.SimulatedSeconds(params);
+    if (seconds > 0) {
+      std::snprintf(buf, sizeof(buf), " text-cost=%.2fs [%s]", seconds,
+                    it->second.meter_delta.ToString().c_str());
+      out += buf;
+    }
+    out += ")";
+  }
+  out += "\n";
+  if (node.left != nullptr) {
+    RenderAnalyze(*node.left, query, profile, params, indent + 1, out);
+  }
+  if (node.right != nullptr) {
+    RenderAnalyze(*node.right, query, profile, params, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
+                           const ExecutionProfile& profile,
+                           const CostParams& params) {
+  std::string out;
+  RenderAnalyze(root, query, profile, params, 0, out);
+  return out;
+}
+
+}  // namespace textjoin

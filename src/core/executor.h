@@ -1,0 +1,88 @@
+#ifndef TEXTJOIN_CORE_EXECUTOR_H_
+#define TEXTJOIN_CORE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/text_source.h"
+#include "core/federated_query.h"
+#include "core/plan.h"
+#include "relational/catalog.h"
+
+/// \file
+/// Executes PrL plans against the catalog and the external text source.
+
+namespace textjoin {
+
+/// The materialized output of a query execution.
+struct ExecutionResult {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// Per-node runtime measurements for EXPLAIN ANALYZE.
+struct NodeProfile {
+  size_t actual_rows = 0;     ///< Rows the node emitted.
+  AccessMeter meter_delta;    ///< Text-source charges attributable to it.
+};
+
+/// Profile of one execution, keyed by plan node.
+struct ExecutionProfile {
+  std::map<const PlanNode*, NodeProfile> nodes;
+};
+
+/// Renders the plan with estimated AND actual rows / costs per node.
+std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
+                           const ExecutionProfile& profile,
+                           const CostParams& params = CostParams{});
+
+/// Walks a plan tree bottom-up, running scans/filters/joins with the
+/// relational operators, probe nodes with ProbeSemiJoinReduce, and the
+/// foreign-join node with the plan's chosen method. The final projection
+/// (the query's SELECT list) is applied on top.
+class PlanExecutor {
+ public:
+  /// All pointers must outlive the executor.
+  PlanExecutor(const Catalog* catalog, TextSource* source)
+      : catalog_(catalog), source_(source) {}
+
+  /// Executes `root` for `query` and applies the query's projection.
+  /// When `profile` is non-null, records per-node actual rows and meter
+  /// deltas (requires the source to be a RemoteTextSource; deltas are zero
+  /// otherwise).
+  Result<ExecutionResult> Execute(const PlanNode& root,
+                                  const FederatedQuery& query,
+                                  ExecutionProfile* profile = nullptr);
+
+ private:
+  /// Exec wraps ExecNode with profile bookkeeping (actual row counts).
+  Result<ExecutionResult> Exec(const PlanNode& node,
+                               const FederatedQuery& query,
+                               ExecutionProfile* profile);
+  Result<ExecutionResult> ExecNode(const PlanNode& node,
+                                   const FederatedQuery& query,
+                                   ExecutionProfile* profile);
+
+  /// Builds the foreign-join spec for the text join of `query` with
+  /// `left_schema` as the outer side.
+  ForeignJoinSpec BuildSpec(const FederatedQuery& query,
+                            const Schema& left_schema) const;
+
+  const Catalog* catalog_;
+  TextSource* source_;
+};
+
+/// Reference evaluation: executes `query` by brute force (cross product of
+/// relations x documents, filtering every conjunct relationally, fetching
+/// every document). Exponentially expensive but obviously correct — used by
+/// tests and benches as ground truth. Does not touch the meter if `source`
+/// is null (documents come straight from `engine_docs`).
+Result<ExecutionResult> ReferenceExecute(
+    const FederatedQuery& query, const Catalog& catalog,
+    const std::vector<Document>& all_documents);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_EXECUTOR_H_

@@ -1,0 +1,147 @@
+#include "core/federated_query.h"
+
+#include "common/string_util.h"
+
+namespace textjoin {
+
+Schema TextRelationDecl::ToSchema() const {
+  Schema schema;
+  schema.AddColumn(Column{alias, "docid", ValueType::kString});
+  for (const std::string& field : fields) {
+    schema.AddColumn(Column{alias, field, ValueType::kString});
+  }
+  return schema;
+}
+
+bool TextRelationDecl::HasField(const std::string& field) const {
+  for (const std::string& f : fields) {
+    if (EqualsIgnoreCase(f, field)) return true;
+  }
+  return false;
+}
+
+std::string AggregateItem::Name() const {
+  switch (kind) {
+    case Kind::kCountStar:
+      return "count(*)";
+    case Kind::kCount:
+      return "count(" + column + ")";
+    case Kind::kMin:
+      return "min(" + column + ")";
+    case Kind::kMax:
+      return "max(" + column + ")";
+    case Kind::kSum:
+      return "sum(" + column + ")";
+    case Kind::kAvg:
+      return "avg(" + column + ")";
+  }
+  return "?";
+}
+
+FederatedQuery FederatedQuery::Clone() const {
+  FederatedQuery copy;
+  copy.relations = relations;
+  copy.text = text;
+  copy.has_text_relation = has_text_relation;
+  copy.relational_predicates.reserve(relational_predicates.size());
+  for (const ExprPtr& p : relational_predicates) {
+    copy.relational_predicates.push_back(p->Clone());
+  }
+  copy.text_selections = text_selections;
+  copy.text_joins = text_joins;
+  copy.output_columns = output_columns;
+  copy.distinct = distinct;
+  copy.aggregates = aggregates;
+  copy.group_by = group_by;
+  copy.order_by = order_by;
+  copy.limit = limit;
+  return copy;
+}
+
+Result<const RelationRef*> FederatedQuery::FindRelation(
+    const std::string& name) const {
+  for (const RelationRef& rel : relations) {
+    if (EqualsIgnoreCase(rel.name(), name)) return &rel;
+  }
+  return Status::NotFound("no relation named '" + name + "' in query");
+}
+
+bool FederatedQuery::NeedsDocumentFields() const {
+  if (!has_text_relation) return false;
+  auto is_text_field = [this](const std::string& ref) {
+    const size_t dot = ref.find('.');
+    if (dot == std::string::npos) return false;
+    return EqualsIgnoreCase(ref.substr(0, dot), text.alias) &&
+           !EqualsIgnoreCase(ref.substr(dot + 1), "docid");
+  };
+  if (!aggregates.empty()) {
+    for (const std::string& ref : group_by) {
+      if (is_text_field(ref)) return true;
+    }
+    for (const AggregateItem& agg : aggregates) {
+      if (!agg.column.empty() && is_text_field(agg.column)) return true;
+    }
+    return false;
+  }
+  if (output_columns.empty()) return !text.fields.empty();  // SELECT *
+  for (const std::string& ref : output_columns) {
+    if (is_text_field(ref)) return true;
+  }
+  return false;
+}
+
+std::string FederatedQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (!aggregates.empty()) {
+    std::vector<std::string> items = group_by;
+    for (const AggregateItem& agg : aggregates) items.push_back(agg.Name());
+    out += Join(items, ", ");
+  } else if (output_columns.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < output_columns.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += output_columns[i];
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += relations[i].table_name;
+    if (!relations[i].alias.empty() &&
+        relations[i].alias != relations[i].table_name) {
+      out += " " + relations[i].alias;
+    }
+  }
+  if (has_text_relation) {
+    if (!relations.empty()) out += ", ";
+    out += text.alias;
+  }
+  std::vector<std::string> conjuncts;
+  for (const ExprPtr& p : relational_predicates) {
+    conjuncts.push_back(p->ToString());
+  }
+  for (const TextSelection& s : text_selections) {
+    conjuncts.push_back("'" + s.term + "' in " + text.alias + "." + s.field);
+  }
+  for (const TextJoinPredicate& j : text_joins) {
+    conjuncts.push_back(j.column_ref + " in " + text.alias + "." + j.field);
+  }
+  if (!conjuncts.empty()) {
+    out += " WHERE ";
+    out += Join(conjuncts, " AND ");
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY " + Join(group_by, ", ");
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY " + Join(order_by, ", ");
+  }
+  if (limit != kNoLimit) {
+    out += " LIMIT " + std::to_string(limit);
+  }
+  return out;
+}
+
+}  // namespace textjoin

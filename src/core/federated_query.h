@@ -1,0 +1,115 @@
+#ifndef TEXTJOIN_CORE_FEDERATED_QUERY_H_
+#define TEXTJOIN_CORE_FEDERATED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/expression.h"
+#include "relational/schema.h"
+
+/// \file
+/// The conjunctive query class of the paper (Section 2.2/2.3):
+/// Select-Project-Join queries over one or more stored relations and one
+/// external text source, with three kinds of conjuncts:
+///   - relational predicates (selections and joins over stored relations),
+///   - text selections:  'constant term' in text.field,
+///   - text joins:       relation.column in text.field.
+
+namespace textjoin {
+
+/// A stored relation occurrence in the FROM list.
+struct RelationRef {
+  std::string table_name;  ///< Catalog name.
+  std::string alias;       ///< Reference name in the query (defaults to
+                           ///< table_name).
+
+  const std::string& name() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// 'term' in text.field — a selection on the text source.
+struct TextSelection {
+  std::string term;   ///< Constant word or phrase.
+  std::string field;  ///< Document field name.
+
+  std::string ToString() const { return "'" + term + "' in " + field; }
+};
+
+/// An aggregate select item:
+/// COUNT(*) / COUNT(col) / MIN(col) / MAX(col) / SUM(col) / AVG(col).
+struct AggregateItem {
+  enum class Kind { kCountStar, kCount, kMin, kMax, kSum, kAvg };
+  Kind kind = Kind::kCountStar;
+  std::string column;  ///< Empty for COUNT(*).
+
+  /// Output column name, e.g. "count(*)" or "min(student.year)".
+  std::string Name() const;
+};
+
+/// rel.column in text.field — a foreign join predicate.
+struct TextJoinPredicate {
+  std::string column_ref;  ///< Qualified column, e.g. "student.name".
+  std::string field;       ///< Document field name.
+
+  std::string ToString() const { return column_ref + " in " + field; }
+};
+
+/// Declares how the external text source appears as a relation (paper
+/// Section 2.2): a docid column plus one column per text field.
+struct TextRelationDecl {
+  std::string alias;                 ///< e.g. "mercury".
+  std::vector<std::string> fields;   ///< Field names, e.g. {title, author}.
+
+  /// The relational schema of the text side: (alias.docid, alias.field...),
+  /// all strings (multi-valued fields are flattened; see
+  /// common/text_match.h).
+  Schema ToSchema() const;
+
+  /// True if `field` is declared.
+  bool HasField(const std::string& field) const;
+};
+
+/// A parsed/constructed conjunctive text-relational query.
+struct FederatedQuery {
+  std::vector<RelationRef> relations;
+  TextRelationDecl text;                    ///< The external source.
+  bool has_text_relation = false;           ///< False for pure-relational.
+  std::vector<ExprPtr> relational_predicates;  ///< Conjuncts over relations.
+  std::vector<TextSelection> text_selections;
+  std::vector<TextJoinPredicate> text_joins;
+  std::vector<std::string> output_columns;  ///< Projection; empty = SELECT *.
+  bool distinct = false;                    ///< SELECT DISTINCT.
+  /// Aggregate select items. When non-empty the query is an aggregation:
+  /// output = group_by columns followed by the aggregates, and
+  /// output_columns must equal group_by.
+  std::vector<AggregateItem> aggregates;
+  std::vector<std::string> group_by;        ///< GROUP BY columns.
+  std::vector<std::string> order_by;        ///< ORDER BY columns (asc).
+  size_t limit = kNoLimit;                  ///< LIMIT n, or kNoLimit.
+
+  /// Sentinel for "no LIMIT clause".
+  static constexpr size_t kNoLimit = static_cast<size_t>(-1);
+
+  FederatedQuery() = default;
+  FederatedQuery(FederatedQuery&&) = default;
+  FederatedQuery& operator=(FederatedQuery&&) = default;
+
+  /// Deep copy (expressions are cloned).
+  FederatedQuery Clone() const;
+
+  /// Finds a relation by its reference name. Fails with NotFound.
+  Result<const RelationRef*> FindRelation(const std::string& name) const;
+
+  /// True if the projection needs document fields beyond docid (drives
+  /// whether join methods must fetch long forms).
+  bool NeedsDocumentFields() const;
+
+  /// Renders SQL-ish text for logs and EXPLAIN.
+  std::string ToString() const;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_FEDERATED_QUERY_H_

@@ -1,0 +1,52 @@
+#ifndef TEXTJOIN_CORE_JOIN_METHOD_IMPLS_H_
+#define TEXTJOIN_CORE_JOIN_METHOD_IMPLS_H_
+
+#include <vector>
+
+#include "core/join_methods_internal.h"
+
+/// \file
+/// Per-method entry points, dispatched by ExecuteForeignJoin. Internal.
+
+namespace textjoin::internal {
+
+/// Section 3.1 — tuple substitution, one search per distinct combination of
+/// the join columns.
+Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
+                                    const std::vector<Row>& left_rows,
+                                    TextSource& source);
+
+/// Section 3.2 — relational text processing: one selections-only search,
+/// fetch the matches, join them in SQL.
+Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
+                                     const std::vector<Row>& left_rows,
+                                     TextSource& source);
+
+/// Section 3.2 — semi-join: OR-batched disjuncts under the term limit M;
+/// doc-side semi-join output (docids).
+Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
+                                    const std::vector<Row>& left_rows,
+                                    TextSource& source);
+
+/// Section 3.2 — semi-join then relational text processing to recover the
+/// (tuple, document) pairing for general (non-semi-join) queries.
+Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
+                                       const std::vector<Row>& left_rows,
+                                       TextSource& source);
+
+/// Section 3.3 — probing + tuple substitution, with the probe cache and
+/// send-probe-only-after-failure policy of the paper's algorithm.
+Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
+                                     const std::vector<Row>& left_rows,
+                                     TextSource& source, PredicateMask mask);
+
+/// Section 3.3 — probing + relational text processing: fetch the documents
+/// matched by the successful probes, then match the remaining predicates in
+/// SQL.
+Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
+                                      const std::vector<Row>& left_rows,
+                                      TextSource& source, PredicateMask mask);
+
+}  // namespace textjoin::internal
+
+#endif  // TEXTJOIN_CORE_JOIN_METHOD_IMPLS_H_

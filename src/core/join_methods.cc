@@ -1,0 +1,57 @@
+#include "core/join_methods.h"
+
+#include "core/join_method_impls.h"
+#include "core/join_methods_internal.h"
+
+namespace textjoin {
+
+const char* JoinMethodName(JoinMethodKind kind) {
+  switch (kind) {
+    case JoinMethodKind::kTS:
+      return "TS";
+    case JoinMethodKind::kRTP:
+      return "RTP";
+    case JoinMethodKind::kSJ:
+      return "SJ";
+    case JoinMethodKind::kSJRTP:
+      return "SJ+RTP";
+    case JoinMethodKind::kPTS:
+      return "P+TS";
+    case JoinMethodKind::kPRTP:
+      return "P+RTP";
+  }
+  return "?";
+}
+
+Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
+                                             const ForeignJoinSpec& spec,
+                                             const std::vector<Row>& left_rows,
+                                             TextSource& source,
+                                             PredicateMask probe_mask) {
+  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
+                            internal::ResolveSpec(spec));
+  const bool is_probe_method = method == JoinMethodKind::kPTS ||
+                               method == JoinMethodKind::kPRTP;
+  if (!is_probe_method && probe_mask != 0) {
+    return Status::InvalidArgument(
+        std::string("probe mask given to non-probing method ") +
+        JoinMethodName(method));
+  }
+  switch (method) {
+    case JoinMethodKind::kTS:
+      return internal::ExecuteTS(rspec, left_rows, source);
+    case JoinMethodKind::kRTP:
+      return internal::ExecuteRTP(rspec, left_rows, source);
+    case JoinMethodKind::kSJ:
+      return internal::ExecuteSJ(rspec, left_rows, source);
+    case JoinMethodKind::kSJRTP:
+      return internal::ExecuteSJRTP(rspec, left_rows, source);
+    case JoinMethodKind::kPTS:
+      return internal::ExecutePTS(rspec, left_rows, source, probe_mask);
+    case JoinMethodKind::kPRTP:
+      return internal::ExecutePRTP(rspec, left_rows, source, probe_mask);
+  }
+  TEXTJOIN_UNREACHABLE("bad JoinMethodKind");
+}
+
+}  // namespace textjoin

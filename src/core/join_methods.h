@@ -1,0 +1,87 @@
+#ifndef TEXTJOIN_CORE_JOIN_METHODS_H_
+#define TEXTJOIN_CORE_JOIN_METHODS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/text_source.h"
+#include "core/cost_model.h"
+#include "core/federated_query.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+/// \file
+/// The paper's foreign-join execution methods (Section 3). Every method
+/// takes the same inputs — the outer relational rows, the text predicates,
+/// and the opaque TextSource — and produces the same logical result: the
+/// join of the rows with the matching documents. They differ only in how
+/// many searches, probes, and document retrievals they spend, which the
+/// TextSource's meter records.
+
+namespace textjoin {
+
+/// The six join methods of the paper.
+enum class JoinMethodKind {
+  kTS,     ///< Tuple substitution (distinct-tuple variant).
+  kRTP,    ///< Relational text processing.
+  kSJ,     ///< Semi-join: OR-batched searches, docid-only output.
+  kSJRTP,  ///< Semi-join + relational text processing (general output).
+  kPTS,    ///< Probing + tuple substitution.
+  kPRTP,   ///< Probing + relational text processing.
+};
+
+/// Returns the paper's name for `kind` ("TS", "RTP", "SJ", "SJ+RTP",
+/// "P+TS", "P+RTP").
+const char* JoinMethodName(JoinMethodKind kind);
+
+/// Static description of one foreign join, independent of the input rows.
+struct ForeignJoinSpec {
+  Schema left_schema;                      ///< Schema of the outer rows.
+  std::vector<TextSelection> selections;   ///< Constant text predicates.
+  std::vector<TextJoinPredicate> joins;    ///< column-in-field predicates;
+                                           ///< columns resolve in
+                                           ///< left_schema.
+  TextRelationDecl text;                   ///< Text-side relation shape.
+  bool need_document_fields = true;  ///< Output reads document fields
+                                     ///< (forces long-form retrieval).
+  bool left_columns_needed = true;   ///< Output reads outer columns (false
+                                     ///< only for doc-side semi-joins like
+                                     ///< the paper's Q2).
+};
+
+/// The joined rows. Schema is left_schema ⨯ text schema
+/// (docid + one column per declared field). Methods that legitimately skip
+/// work leave the skipped columns NULL: document fields are NULL when
+/// !need_document_fields, and outer columns are NULL for kSJ.
+struct ForeignJoinResult {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// Executes the foreign join with the chosen method. `probe_mask` selects
+/// the probe columns for kPTS / kPRTP (bit i = i-th entry of spec.joins)
+/// and must be 0 for the other methods.
+///
+/// Fails with InvalidArgument when the method is inapplicable:
+///  - kRTP / kSJRTP / kPRTP and kSJ/kTS variants require what the paper
+///    requires (RTP-family needs text selections for its initial search
+///    except the probe variant; kSJ requires !left_columns_needed).
+Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
+                                             const ForeignJoinSpec& spec,
+                                             const std::vector<Row>& left_rows,
+                                             TextSource& source,
+                                             PredicateMask probe_mask = 0);
+
+/// The probe used as a semi-join reducer (Section 6, "Probe as a
+/// Semi-join"): sends one probe per distinct combination of the probe
+/// columns and returns the input rows whose combination matched at least
+/// one document. Never changes the final query answer, only the sizes.
+Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
+                                             const std::vector<Row>& left_rows,
+                                             TextSource& source,
+                                             PredicateMask probe_mask);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_JOIN_METHODS_H_

@@ -1,0 +1,159 @@
+#include "core/join_methods_internal.h"
+
+#include "common/text_match.h"
+#include "connector/remote_text_source.h"
+
+namespace textjoin::internal {
+
+Result<ResolvedSpec> ResolveSpec(const ForeignJoinSpec& spec) {
+  ResolvedSpec rspec;
+  rspec.spec = &spec;
+  for (const TextJoinPredicate& pred : spec.joins) {
+    TEXTJOIN_ASSIGN_OR_RETURN(size_t idx,
+                              spec.left_schema.Resolve(pred.column_ref));
+    rspec.join_columns.push_back(idx);
+    if (!spec.text.HasField(pred.field)) {
+      return Status::NotFound("text field '" + pred.field +
+                              "' not declared on " + spec.text.alias);
+    }
+  }
+  for (const TextSelection& sel : spec.selections) {
+    if (!spec.text.HasField(sel.field)) {
+      return Status::NotFound("text field '" + sel.field +
+                              "' not declared on " + spec.text.alias);
+    }
+  }
+  rspec.output_schema = spec.left_schema.Concat(spec.text.ToSchema());
+  return rspec;
+}
+
+std::optional<std::vector<std::string>> JoinTerms(const ResolvedSpec& rspec,
+                                                  const Row& row,
+                                                  PredicateMask mask) {
+  std::vector<std::string> terms;
+  for (size_t i = 0; i < rspec.join_columns.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const Value& v = row.at(rspec.join_columns[i]);
+    if (v.type() != ValueType::kString) return std::nullopt;
+    terms.push_back(v.AsString());
+  }
+  return terms;
+}
+
+namespace {
+
+// Appends term nodes for the predicates in `mask` to `children`.
+void AppendJoinTermNodes(const ResolvedSpec& rspec,
+                         const std::vector<std::string>& terms,
+                         PredicateMask mask,
+                         std::vector<TextQueryPtr>& children) {
+  size_t term_index = 0;
+  for (size_t i = 0; i < rspec.spec->joins.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    children.push_back(
+        TextQuery::Term(rspec.spec->joins[i].field, terms.at(term_index)));
+    ++term_index;
+  }
+}
+
+}  // namespace
+
+TextQueryPtr BuildSearch(const ResolvedSpec& rspec,
+                         const std::vector<std::string>& terms,
+                         PredicateMask mask) {
+  std::vector<TextQueryPtr> children;
+  for (const TextSelection& sel : rspec.spec->selections) {
+    children.push_back(TextQuery::Term(sel.field, sel.term));
+  }
+  AppendJoinTermNodes(rspec, terms, mask, children);
+  TEXTJOIN_CHECK(!children.empty(), "search with no predicates");
+  return TextQuery::And(std::move(children));
+}
+
+TextQueryPtr BuildSelectionSearch(const ForeignJoinSpec& spec) {
+  TEXTJOIN_CHECK(!spec.selections.empty(),
+                 "selection search needs text selections");
+  std::vector<TextQueryPtr> children;
+  for (const TextSelection& sel : spec.selections) {
+    children.push_back(TextQuery::Term(sel.field, sel.term));
+  }
+  return TextQuery::And(std::move(children));
+}
+
+TextQueryPtr BuildDisjunct(const ResolvedSpec& rspec,
+                           const std::vector<std::string>& terms,
+                           PredicateMask mask) {
+  std::vector<TextQueryPtr> children;
+  AppendJoinTermNodes(rspec, terms, mask, children);
+  TEXTJOIN_CHECK(!children.empty(), "disjunct with no join terms");
+  return TextQuery::And(std::move(children));
+}
+
+Row DocumentToRow(const TextRelationDecl& text, const Document& doc) {
+  Row row;
+  row.reserve(text.fields.size() + 1);
+  row.push_back(Value::Str(doc.docid));
+  for (const std::string& field : text.fields) {
+    row.push_back(Value::Str(JoinFieldValues(doc.FieldValues(field))));
+  }
+  return row;
+}
+
+Row DocidOnlyRow(const TextRelationDecl& text, const std::string& docid) {
+  Row row(text.fields.size() + 1, Value::Null());
+  row[0] = Value::Str(docid);
+  return row;
+}
+
+Row NullLeftRow(const Schema& left_schema) {
+  return Row(left_schema.num_columns(), Value::Null());
+}
+
+bool DocMatchesRow(const ResolvedSpec& rspec, const Row& row,
+                   const Document& doc, PredicateMask mask) {
+  for (size_t i = 0; i < rspec.spec->joins.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const Value& v = row.at(rspec.join_columns[i]);
+    if (v.type() != ValueType::kString) return false;
+    const std::string flattened =
+        JoinFieldValues(doc.FieldValues(rspec.spec->joins[i].field));
+    if (!TermMatchesFieldText(v.AsString(), flattened)) return false;
+  }
+  return true;
+}
+
+std::map<std::vector<std::string>, std::vector<size_t>> GroupByTerms(
+    const ResolvedSpec& rspec, const std::vector<Row>& rows,
+    PredicateMask mask) {
+  std::map<std::vector<std::string>, std::vector<size_t>> groups;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::optional<std::vector<std::string>> terms =
+        JoinTerms(rspec, rows[r], mask);
+    if (!terms) continue;
+    groups[*terms].push_back(r);
+  }
+  return groups;
+}
+
+Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask) {
+  if (mask == 0) {
+    return Status::InvalidArgument("probe mask must select at least one "
+                                   "join predicate");
+  }
+  const PredicateMask all = FullMask(spec.joins.size());
+  if ((mask & ~all) != 0) {
+    return Status::OutOfRange("probe mask " + MaskToString(mask) +
+                              " selects predicates beyond the " +
+                              std::to_string(spec.joins.size()) +
+                              " in the spec");
+  }
+  return Status::OK();
+}
+
+void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned) {
+  if (auto* remote = dynamic_cast<RemoteTextSource*>(&source)) {
+    remote->meter().relational_matches += docs_scanned;
+  }
+}
+
+}  // namespace textjoin::internal

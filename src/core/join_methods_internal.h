@@ -1,0 +1,89 @@
+#ifndef TEXTJOIN_CORE_JOIN_METHODS_INTERNAL_H_
+#define TEXTJOIN_CORE_JOIN_METHODS_INTERNAL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/text_source.h"
+#include "core/cost_model.h"
+#include "core/join_methods.h"
+#include "text/query.h"
+
+/// \file
+/// Helpers shared by the join-method implementations. Internal — not part
+/// of the public API.
+
+namespace textjoin::internal {
+
+/// The join spec with column references resolved to indices.
+struct ResolvedSpec {
+  const ForeignJoinSpec* spec = nullptr;
+  std::vector<size_t> join_columns;  ///< Index into left rows, per predicate.
+  Schema output_schema;              ///< left ⨯ text.
+};
+
+/// Resolves every join predicate's column against the left schema and
+/// validates the referenced fields against the text declaration.
+Result<ResolvedSpec> ResolveSpec(const ForeignJoinSpec& spec);
+
+/// The join-column values of `row` for the predicates in `mask`, as
+/// strings. Returns nullopt if any value is NULL or non-string — such a
+/// tuple can never match (text terms are strings), so no search is sent.
+std::optional<std::vector<std::string>> JoinTerms(const ResolvedSpec& rspec,
+                                                  const Row& row,
+                                                  PredicateMask mask);
+
+/// Builds the instantiated Boolean search: the conjunction of all text
+/// selections plus, for each predicate in `mask`, its field-restricted term
+/// taken from `terms` (parallel to the set bits of `mask`, ascending).
+TextQueryPtr BuildSearch(const ResolvedSpec& rspec,
+                         const std::vector<std::string>& terms,
+                         PredicateMask mask);
+
+/// Builds the selections-only search (used by RTP). Requires at least one
+/// selection.
+TextQueryPtr BuildSelectionSearch(const ForeignJoinSpec& spec);
+
+/// One OR disjunct for the semi-join method: AND of the join terms of one
+/// distinct combination (field-restricted).
+TextQueryPtr BuildDisjunct(const ResolvedSpec& rspec,
+                           const std::vector<std::string>& terms,
+                           PredicateMask mask);
+
+/// Converts a fetched document into the text-side row
+/// [docid, field1, field2, ...] with multi-valued fields flattened.
+Row DocumentToRow(const TextRelationDecl& text, const Document& doc);
+
+/// The text-side row carrying only the docid (fields NULL).
+Row DocidOnlyRow(const TextRelationDecl& text, const std::string& docid);
+
+/// The all-NULL left row (for doc-side semi-join output).
+Row NullLeftRow(const Schema& left_schema);
+
+/// True if `doc` satisfies the join predicates in `mask` for `row`
+/// (relational-side string matching; used by the RTP family).
+bool DocMatchesRow(const ResolvedSpec& rspec, const Row& row,
+                   const Document& doc, PredicateMask mask);
+
+/// Groups row indices by their join-term combination over `mask`.
+/// Rows with NULL/non-string join values are dropped (they cannot match).
+/// Iteration order is deterministic (lexicographic by terms).
+std::map<std::vector<std::string>, std::vector<size_t>> GroupByTerms(
+    const ResolvedSpec& rspec, const std::vector<Row>& rows,
+    PredicateMask mask);
+
+/// Validates a probe mask: non-zero and within the predicate count.
+Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask);
+
+/// Charges `docs_scanned` relational string-matching operations (the c_a
+/// component) to the source's meter when the source is metered. The
+/// matching itself happens on the database side, but the experiment harness
+/// reads one combined meter, as the paper reports one combined time.
+void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned);
+
+}  // namespace textjoin::internal
+
+#endif  // TEXTJOIN_CORE_JOIN_METHODS_INTERNAL_H_

@@ -1,0 +1,47 @@
+#ifndef TEXTJOIN_CORE_PROBE_CACHE_H_
+#define TEXTJOIN_CORE_PROBE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "relational/tuple.h"
+
+/// \file
+/// The probe cache of Section 3.3: remembers, per query execution, whether
+/// the probe for a given combination of probe-column values succeeded
+/// (matched at least one document) or failed. A fail entry lets the join
+/// method skip every later tuple that agrees on the probe columns without
+/// invoking the text system.
+
+namespace textjoin {
+
+/// Maps probe-key rows (the tuple projected onto the probe columns) to the
+/// probe outcome. Lives for the duration of one query execution.
+class ProbeCache {
+ public:
+  /// The cached outcome for `key`, or nullopt if never probed.
+  std::optional<bool> Lookup(const Row& key) const {
+    ++lookups_;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    ++hits_;
+    return it->second;
+  }
+
+  /// Records the outcome of a probe (true = documents matched).
+  void Insert(const Row& key, bool success) { entries_[key] = success; }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+
+ private:
+  std::unordered_map<Row, bool, RowHash, RowEq> entries_;
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t hits_ = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_PROBE_CACHE_H_

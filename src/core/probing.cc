@@ -1,0 +1,175 @@
+#include "core/join_method_impls.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "core/probe_cache.h"
+
+namespace textjoin::internal {
+
+namespace {
+
+/// Extracts the probe-subset terms from the full-key terms (terms are
+/// ordered by ascending predicate index; the probe mask selects a subset of
+/// those indices).
+std::vector<std::string> ProbeKeyOf(const std::vector<std::string>& full_terms,
+                                    PredicateMask probe_mask,
+                                    size_t num_predicates) {
+  std::vector<std::string> key;
+  size_t term_index = 0;
+  for (size_t i = 0; i < num_predicates; ++i) {
+    if ((probe_mask & (1u << i)) != 0) key.push_back(full_terms[term_index]);
+    ++term_index;
+  }
+  return key;
+}
+
+Row TermsToRow(const std::vector<std::string>& terms) {
+  Row row;
+  row.reserve(terms.size());
+  for (const std::string& t : terms) row.push_back(Value::Str(t));
+  return row;
+}
+
+}  // namespace
+
+Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
+                                     const std::vector<Row>& left_rows,
+                                     TextSource& source, PredicateMask mask) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
+  const PredicateMask all = FullMask(spec.joins.size());
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+
+  const auto groups = GroupByTerms(rspec, left_rows, all);
+
+  // How many distinct full-key combinations share each probe key: a probe
+  // is only worth sending if at least one *other* combination could reuse
+  // its outcome (the paper's refinement for grouped input).
+  std::map<std::vector<std::string>, size_t> remaining_sharers;
+  for (const auto& [terms, rows] : groups) {
+    ++remaining_sharers[ProbeKeyOf(terms, mask, spec.joins.size())];
+  }
+
+  ProbeCache cache;
+  for (const auto& [terms, row_indices] : groups) {
+    const std::vector<std::string> probe_terms =
+        ProbeKeyOf(terms, mask, spec.joins.size());
+    const Row probe_key = TermsToRow(probe_terms);
+    --remaining_sharers[probe_terms];
+
+    const std::optional<bool> cached = cache.Lookup(probe_key);
+    if (cached.has_value() && !*cached) continue;  // Known fail-query.
+
+    // Full tuple-substitution search for this combination.
+    TextQueryPtr search = BuildSearch(rspec, terms, all);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                              source.Search(*search));
+    if (!docids.empty()) {
+      // A successful full query implies the probe would succeed; remember
+      // it without spending an invocation.
+      cache.Insert(probe_key, true);
+      std::vector<Row> doc_rows;
+      doc_rows.reserve(docids.size());
+      for (const std::string& docid : docids) {
+        if (spec.need_document_fields) {
+          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+          doc_rows.push_back(DocumentToRow(spec.text, doc));
+        } else {
+          doc_rows.push_back(DocidOnlyRow(spec.text, docid));
+        }
+      }
+      for (size_t r : row_indices) {
+        for (const Row& doc_row : doc_rows) {
+          result.rows.push_back(ConcatRows(left_rows[r], doc_row));
+        }
+      }
+      continue;
+    }
+    // The full query failed. Send the probe (selections + probe-column
+    // predicates, short form) so later agreeing combinations can be
+    // skipped — but only if some combination still shares this probe key
+    // and the outcome is not already cached.
+    if (!cached.has_value() && remaining_sharers[probe_terms] > 0) {
+      TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
+      TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> probe_docs,
+                                source.Search(*probe));
+      cache.Insert(probe_key, !probe_docs.empty());
+    }
+  }
+  return result;
+}
+
+Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
+                                      const std::vector<Row>& left_rows,
+                                      TextSource& source,
+                                      PredicateMask mask) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
+  const PredicateMask all = FullMask(spec.joins.size());
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+
+  // One probe per distinct probe-column combination; the documents each
+  // successful probe matched are fetched (long form, deduplicated across
+  // probes) and matched against the agreeing tuples in SQL.
+  const auto groups = GroupByTerms(rspec, left_rows, mask);
+  std::unordered_map<std::string, Document> fetched;
+  for (const auto& [probe_terms, row_indices] : groups) {
+    TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                              source.Search(*probe));
+    if (docids.empty()) continue;  // Fail: every agreeing tuple is skipped.
+    std::vector<const Document*> combo_docs;
+    combo_docs.reserve(docids.size());
+    for (const std::string& docid : docids) {
+      auto it = fetched.find(docid);
+      if (it == fetched.end()) {
+        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+        it = fetched.emplace(docid, std::move(doc)).first;
+      }
+      combo_docs.push_back(&it->second);
+    }
+    ChargeRelationalMatches(source, combo_docs.size());
+    for (const Document* doc : combo_docs) {
+      Row doc_row = DocumentToRow(spec.text, *doc);
+      for (size_t r : row_indices) {
+        // The probe guaranteed the mask predicates; check the remainder.
+        if (DocMatchesRow(rspec, left_rows[r], *doc, all & ~mask)) {
+          result.rows.push_back(ConcatRows(left_rows[r], doc_row));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace textjoin::internal
+
+namespace textjoin {
+
+Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
+                                             const std::vector<Row>& left_rows,
+                                             TextSource& source,
+                                             PredicateMask probe_mask) {
+  TEXTJOIN_RETURN_IF_ERROR(internal::ValidateProbeMask(spec, probe_mask));
+  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
+                            internal::ResolveSpec(spec));
+  const auto groups = internal::GroupByTerms(rspec, left_rows, probe_mask);
+  std::vector<bool> keep(left_rows.size(), false);
+  for (const auto& [probe_terms, row_indices] : groups) {
+    TextQueryPtr probe = internal::BuildSearch(rspec, probe_terms, probe_mask);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                              source.Search(*probe));
+    if (docids.empty()) continue;
+    for (size_t r : row_indices) keep[r] = true;
+  }
+  std::vector<Row> survivors;
+  for (size_t r = 0; r < left_rows.size(); ++r) {
+    if (keep[r]) survivors.push_back(left_rows[r]);
+  }
+  return survivors;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,49 @@
+#include "core/join_method_impls.h"
+
+namespace textjoin::internal {
+
+Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
+                                     const std::vector<Row>& left_rows,
+                                     TextSource& source) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  if (spec.selections.empty()) {
+    // Without selections, the single text search would be unconstrained.
+    // The paper (Section 3.2): "This method further requires that there are
+    // selection conditions on the text data."
+    return Status::InvalidArgument("RTP requires text selection conditions");
+  }
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+
+  // One search carrying only the selection conditions.
+  TextQueryPtr search = BuildSelectionSearch(spec);
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                            source.Search(*search));
+  if (docids.empty()) return result;
+
+  // Fetch the long form of every candidate: the join predicates are
+  // evaluated against full field text on the relational side.
+  std::vector<Document> docs;
+  docs.reserve(docids.size());
+  for (const std::string& docid : docids) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+    docs.push_back(std::move(doc));
+  }
+
+  // Relational text processing: SQL string matching of every candidate
+  // document. The meter charges c_a per document scanned, mirroring the
+  // paper's "proportional to the number of the documents" model.
+  ChargeRelationalMatches(source, docs.size());
+  const PredicateMask all = FullMask(spec.joins.size());
+  for (const Document& doc : docs) {
+    Row doc_row = DocumentToRow(spec.text, doc);
+    for (const Row& left : left_rows) {
+      if (DocMatchesRow(rspec, left, doc, all)) {
+        result.rows.push_back(ConcatRows(left, doc_row));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace textjoin::internal

@@ -1,0 +1,128 @@
+#include "core/join_method_impls.h"
+
+#include <set>
+
+namespace textjoin::internal {
+
+namespace {
+
+/// Runs the OR-batched semi-join searches and returns the distinct matching
+/// docids, in first-seen order. Batch size respects the source's term
+/// limit M: each batch spends the selection terms once plus k terms per
+/// disjunct (paper Section 3.2: |Q|/M searches).
+Result<std::vector<std::string>> RunBatchedSemiJoin(
+    const ResolvedSpec& rspec, const std::vector<Row>& left_rows,
+    TextSource& source) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  const PredicateMask all = FullMask(spec.joins.size());
+  const auto groups = GroupByTerms(rspec, left_rows, all);
+
+  const size_t selection_terms = spec.selections.size();
+  const size_t terms_per_disjunct = spec.joins.size();
+  const size_t m = source.max_search_terms();
+  if (selection_terms + terms_per_disjunct > m) {
+    return Status::ResourceExhausted(
+        "one disjunct already exceeds the term limit M=" + std::to_string(m));
+  }
+  const size_t batch_capacity =
+      std::max<size_t>(1, (m - selection_terms) / terms_per_disjunct);
+
+  std::vector<std::string> distinct_docids;
+  std::set<std::string> seen;
+
+  auto flush = [&](std::vector<TextQueryPtr>& disjuncts) -> Status {
+    if (disjuncts.empty()) return Status::OK();
+    std::vector<TextQueryPtr> children;
+    for (const TextSelection& sel : spec.selections) {
+      children.push_back(TextQuery::Term(sel.field, sel.term));
+    }
+    children.push_back(TextQuery::Or(std::move(disjuncts)));
+    disjuncts.clear();
+    TextQueryPtr search = TextQuery::And(std::move(children));
+    Result<std::vector<std::string>> docids = source.Search(*search);
+    if (!docids.ok()) return docids.status();
+    for (const std::string& docid : *docids) {
+      if (seen.insert(docid).second) distinct_docids.push_back(docid);
+    }
+    return Status::OK();
+  };
+
+  std::vector<TextQueryPtr> pending;
+  for (const auto& [terms, row_indices] : groups) {
+    pending.push_back(BuildDisjunct(rspec, terms, all));
+    if (pending.size() >= batch_capacity) {
+      TEXTJOIN_RETURN_IF_ERROR(flush(pending));
+    }
+  }
+  TEXTJOIN_RETURN_IF_ERROR(flush(pending));
+  return distinct_docids;
+}
+
+}  // namespace
+
+Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
+                                    const std::vector<Row>& left_rows,
+                                    TextSource& source) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  if (spec.joins.empty()) {
+    return Status::InvalidArgument("SJ requires text join predicates");
+  }
+  if (spec.left_columns_needed) {
+    // Pure SJ cannot recover which tuple matched which document; the paper
+    // applies it when "the query itself is a semi-join" (only docids are
+    // projected). Use SJ+RTP otherwise.
+    return Status::InvalidArgument(
+        "SJ yields a doc-side semi-join; the query needs outer columns");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                            RunBatchedSemiJoin(rspec, left_rows, source));
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+  const Row null_left = NullLeftRow(spec.left_schema);
+  for (const std::string& docid : docids) {
+    Row doc_row;
+    if (spec.need_document_fields) {
+      TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+      doc_row = DocumentToRow(spec.text, doc);
+    } else {
+      doc_row = DocidOnlyRow(spec.text, docid);
+    }
+    result.rows.push_back(ConcatRows(null_left, doc_row));
+  }
+  return result;
+}
+
+Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
+                                       const std::vector<Row>& left_rows,
+                                       TextSource& source) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  if (spec.joins.empty()) {
+    return Status::InvalidArgument("SJ+RTP requires text join predicates");
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                            RunBatchedSemiJoin(rspec, left_rows, source));
+  // Fetch the distinct candidates once, then recover the pairing by
+  // relational text processing over all join predicates.
+  std::vector<Document> docs;
+  docs.reserve(docids.size());
+  for (const std::string& docid : docids) {
+    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+    docs.push_back(std::move(doc));
+  }
+  ChargeRelationalMatches(source, docs.size());
+
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+  const PredicateMask all = FullMask(spec.joins.size());
+  for (const Document& doc : docs) {
+    Row doc_row = DocumentToRow(spec.text, doc);
+    for (const Row& left : left_rows) {
+      if (DocMatchesRow(rspec, left, doc, all)) {
+        result.rows.push_back(ConcatRows(left, doc_row));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace textjoin::internal

@@ -1,0 +1,115 @@
+#include "core/single_join_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace textjoin {
+
+std::string MethodChoice::ToString() const {
+  std::string out = JoinMethodName(method);
+  if (method == JoinMethodKind::kPTS || method == JoinMethodKind::kPRTP) {
+    out += " probe=" + MaskToString(probe_mask);
+  }
+  out += " cost=" + std::to_string(predicted_cost);
+  return out;
+}
+
+size_t SingleJoinOptimizer::MaxProbeColumns() const {
+  const size_t k = model_->num_predicates();
+  const size_t bound =
+      2 * static_cast<size_t>(model_->stats().correlation_g);
+  return std::min(k, bound);
+}
+
+double SingleJoinOptimizer::CostOf(JoinMethodKind method,
+                                   PredicateMask mask) const {
+  switch (method) {
+    case JoinMethodKind::kTS:
+      return model_->CostTS();
+    case JoinMethodKind::kRTP:
+      return model_->CostRTP();
+    case JoinMethodKind::kSJ:
+      return model_->CostSJ();
+    case JoinMethodKind::kSJRTP:
+      return model_->CostSJRTP();
+    case JoinMethodKind::kPTS:
+      return model_->CostProbeTS(mask);
+    case JoinMethodKind::kPRTP:
+      return model_->CostProbeRTP(mask);
+  }
+  TEXTJOIN_UNREACHABLE("bad JoinMethodKind");
+}
+
+Result<MethodChoice> SingleJoinOptimizer::BestProbe(JoinMethodKind method,
+                                                    bool exhaustive) const {
+  if (method != JoinMethodKind::kPTS && method != JoinMethodKind::kPRTP) {
+    return Status::InvalidArgument("BestProbe applies to probing methods");
+  }
+  const size_t k = model_->num_predicates();
+  if (k == 0) {
+    return Status::InvalidArgument("no text join predicates to probe on");
+  }
+  const size_t max_cols = exhaustive ? k : MaxProbeColumns();
+  const PredicateMask all = FullMask(k);
+  MethodChoice best;
+  best.method = method;
+  best.probe_mask = 0;
+  best.predicted_cost = std::numeric_limits<double>::infinity();
+  for (PredicateMask mask = 1; mask <= all; ++mask) {
+    const size_t bits = static_cast<size_t>(__builtin_popcount(mask));
+    if (bits == 0 || bits > max_cols) continue;
+    const double cost = CostOf(method, mask);
+    if (cost < best.predicted_cost) {
+      best.predicted_cost = cost;
+      best.probe_mask = mask;
+    }
+  }
+  TEXTJOIN_CHECK(best.probe_mask != 0, "probe search found no candidate");
+  return best;
+}
+
+std::vector<MethodChoice> SingleJoinOptimizer::RankMethods(
+    const MethodApplicability& app, bool exhaustive) const {
+  std::vector<MethodChoice> choices;
+  const size_t k = model_->num_predicates();
+
+  // TS is universally applicable (needs at least one text predicate, which
+  // a foreign join by definition has).
+  choices.push_back(
+      {JoinMethodKind::kTS, 0, CostOf(JoinMethodKind::kTS, 0)});
+
+  if (app.has_selections) {
+    choices.push_back(
+        {JoinMethodKind::kRTP, 0, CostOf(JoinMethodKind::kRTP, 0)});
+  }
+  if (k >= 1) {
+    if (!app.left_columns_needed) {
+      choices.push_back(
+          {JoinMethodKind::kSJ, 0, CostOf(JoinMethodKind::kSJ, 0)});
+    }
+    choices.push_back(
+        {JoinMethodKind::kSJRTP, 0, CostOf(JoinMethodKind::kSJRTP, 0)});
+    Result<MethodChoice> pts = BestProbe(JoinMethodKind::kPTS, exhaustive);
+    if (pts.ok()) choices.push_back(*pts);
+    Result<MethodChoice> prtp = BestProbe(JoinMethodKind::kPRTP, exhaustive);
+    if (prtp.ok()) choices.push_back(*prtp);
+  }
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const MethodChoice& a, const MethodChoice& b) {
+                     return a.predicted_cost < b.predicted_cost;
+                   });
+  return choices;
+}
+
+Result<MethodChoice> SingleJoinOptimizer::Choose(
+    const MethodApplicability& app) const {
+  const std::vector<MethodChoice> ranked = RankMethods(app);
+  if (ranked.empty()) {
+    return Status::Internal("no applicable join method");
+  }
+  return ranked.front();
+}
+
+}  // namespace textjoin

@@ -1,0 +1,70 @@
+#ifndef TEXTJOIN_CORE_SINGLE_JOIN_OPTIMIZER_H_
+#define TEXTJOIN_CORE_SINGLE_JOIN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/join_methods.h"
+
+/// \file
+/// Optimization of single-join queries (paper Section 5): choose among the
+/// join methods and, for probe-based methods, the optimal set of probe
+/// columns. Theorem 5.3 bounds the optimal probe set at min(k, 2g)
+/// columns, so the bounded search enumerates only subsets up to that size;
+/// an exhaustive 2^k mode exists for validating the bound.
+
+namespace textjoin {
+
+/// One costed alternative.
+struct MethodChoice {
+  JoinMethodKind method = JoinMethodKind::kTS;
+  PredicateMask probe_mask = 0;  ///< Probe columns for kPTS / kPRTP.
+  double predicted_cost = 0.0;
+
+  std::string ToString() const;
+};
+
+/// What the query's shape permits (derived from the query by the caller).
+struct MethodApplicability {
+  bool has_selections = false;       ///< Text selections present (RTP needs
+                                     ///< them).
+  bool left_columns_needed = true;   ///< Output/later operators read outer
+                                     ///< columns (forbids plain SJ).
+  bool need_document_fields = true;  ///< Output reads document fields.
+};
+
+/// Ranks and chooses join methods using the Section 4 cost model.
+class SingleJoinOptimizer {
+ public:
+  /// `model` must outlive the optimizer.
+  explicit SingleJoinOptimizer(const CostModel* model) : model_(model) {}
+
+  /// The Theorem 5.3 bound on probe-set size: min(k, 2g).
+  size_t MaxProbeColumns() const;
+
+  /// The cheapest probe mask for the given probe-based method. With
+  /// `exhaustive` set, searches all 2^k - 1 subsets (O(2^k)); otherwise
+  /// only subsets within the Theorem 5.3 bound (O(k^(2g))).
+  Result<MethodChoice> BestProbe(JoinMethodKind method,
+                                 bool exhaustive = false) const;
+
+  /// Every applicable method with its predicted cost, cheapest first.
+  /// Probe-based entries carry their individually optimal masks.
+  std::vector<MethodChoice> RankMethods(const MethodApplicability& app,
+                                        bool exhaustive = false) const;
+
+  /// The cheapest applicable method. Fails if none is applicable (cannot
+  /// happen for well-formed foreign joins: TS is universal).
+  Result<MethodChoice> Choose(const MethodApplicability& app) const;
+
+ private:
+  double CostOf(JoinMethodKind method, PredicateMask mask) const;
+
+  const CostModel* model_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_SINGLE_JOIN_OPTIMIZER_H_

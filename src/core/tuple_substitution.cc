@@ -1,0 +1,48 @@
+#include "core/join_method_impls.h"
+
+namespace textjoin::internal {
+
+Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
+                                    const std::vector<Row>& left_rows,
+                                    TextSource& source) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  if (spec.selections.empty() && spec.joins.empty()) {
+    return Status::InvalidArgument(
+        "TS needs at least one text predicate to instantiate");
+  }
+  const PredicateMask all = FullMask(spec.joins.size());
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+
+  // The distinct-tuple variant (Section 3.1): one search per distinct
+  // combination of join-column values; tuples with NULL / non-string join
+  // values cannot match and are never sent.
+  const auto groups = GroupByTerms(rspec, left_rows, all);
+  for (const auto& [terms, row_indices] : groups) {
+    TextQueryPtr search = BuildSearch(rspec, terms, all);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                              source.Search(*search));
+    if (docids.empty()) continue;
+    // Build the text-side rows for this search's result set. Long forms are
+    // retrieved per search (no cross-search cache), matching the paper's
+    // c_l * V accounting for TS.
+    std::vector<Row> doc_rows;
+    doc_rows.reserve(docids.size());
+    for (const std::string& docid : docids) {
+      if (spec.need_document_fields) {
+        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
+        doc_rows.push_back(DocumentToRow(spec.text, doc));
+      } else {
+        doc_rows.push_back(DocidOnlyRow(spec.text, docid));
+      }
+    }
+    for (size_t r : row_indices) {
+      for (const Row& doc_row : doc_rows) {
+        result.rows.push_back(ConcatRows(left_rows[r], doc_row));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace textjoin::internal

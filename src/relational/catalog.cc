@@ -1,0 +1,47 @@
+#include "relational/catalog.h"
+
+#include "common/string_util.h"
+
+namespace textjoin {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string key = ToLower(table->name());
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) != 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace textjoin

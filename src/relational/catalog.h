@@ -1,0 +1,47 @@
+#ifndef TEXTJOIN_RELATIONAL_CATALOG_H_
+#define TEXTJOIN_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+/// \file
+/// Name → table registry for the database side of the federation.
+
+namespace textjoin {
+
+/// Owns the database's tables and resolves names (case-insensitively, like
+/// the paper's SQL examples).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on duplicate names.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers an existing table (takes ownership).
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Looks up a table by name. Fails with NotFound.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// True if `name` is registered.
+  bool HasTable(const std::string& name) const;
+
+  /// All registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // Keyed by lowercase name.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_CATALOG_H_

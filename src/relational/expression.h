@@ -1,0 +1,236 @@
+#ifndef TEXTJOIN_RELATIONAL_EXPRESSION_H_
+#define TEXTJOIN_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+/// \file
+/// Scalar expression AST and evaluator.
+///
+/// Expressions are built unbound (column references by name), then Bind()
+/// resolves references against a schema. After a successful Bind, Eval is
+/// infallible: comparisons are total across types (see Value::Compare) and
+/// string functions return false on non-string inputs, which mirrors SQL's
+/// permissive string matching semantics the paper relies on for RTP.
+
+namespace textjoin {
+
+/// Comparison operators for binary predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Returns the SQL spelling of `op` ("=", "!=", "<", "<=", ">", ">=").
+const char* CompareOpName(CompareOp op);
+
+/// Base class for all scalar expressions.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Resolves column references against `schema`. Must be called (and
+  /// succeed) before Eval.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// Evaluates over a row matching the bound schema.
+  virtual Value Eval(const Row& row) const = 0;
+
+  /// Renders SQL-ish text for debugging and EXPLAIN output.
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy (unbound or bound — binding state is preserved).
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  /// Appends every column reference in the subtree to `out` (used by the
+  /// optimizer to classify predicates by the relations they touch).
+  virtual void CollectColumns(std::vector<std::string>& out) const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Interprets `v` as a predicate result: non-null and numerically non-zero.
+bool ValueIsTrue(const Value& v);
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Value Eval(const Row&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+  ExprPtr Clone() const override {
+    return std::make_unique<LiteralExpr>(value_);
+  }
+  void CollectColumns(std::vector<std::string>&) const override {}
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// A reference to a column, by (possibly qualified) name.
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string ref) : ref_(std::move(ref)) {}
+
+  Status Bind(const Schema& schema) override;
+  Value Eval(const Row& row) const override {
+    TEXTJOIN_CHECK(bound_, "ColumnRef '%s' evaluated before Bind",
+                   ref_.c_str());
+    return row.at(index_);
+  }
+  std::string ToString() const override { return ref_; }
+  ExprPtr Clone() const override {
+    auto copy = std::make_unique<ColumnRefExpr>(ref_);
+    copy->bound_ = bound_;
+    copy->index_ = index_;
+    return copy;
+  }
+  void CollectColumns(std::vector<std::string>& out) const override {
+    out.push_back(ref_);
+  }
+
+  const std::string& ref() const { return ref_; }
+
+  /// The resolved column index. Requires a successful Bind.
+  size_t index() const {
+    TEXTJOIN_CHECK(bound_, "ColumnRef '%s' index() before Bind", ref_.c_str());
+    return index_;
+  }
+
+ private:
+  std::string ref_;
+  bool bound_ = false;
+  size_t index_ = 0;
+};
+
+/// Binary comparison of two sub-expressions.
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Bind(const Schema& schema) override;
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<ComparisonExpr>(op_, left_->Clone(),
+                                            right_->Clone());
+  }
+  void CollectColumns(std::vector<std::string>& out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+
+  CompareOp op() const { return op_; }
+  const Expr& left() const { return *left_; }
+  const Expr& right() const { return *right_; }
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// N-ary conjunction / disjunction, and unary negation.
+enum class LogicalOp { kAnd, kOr, kNot };
+
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, std::vector<ExprPtr> children)
+      : op_(op), children_(std::move(children)) {
+    TEXTJOIN_CHECK(op_ != LogicalOp::kNot || children_.size() == 1,
+                   "NOT takes exactly one child");
+    TEXTJOIN_CHECK(!children_.empty(), "logical expr needs children");
+  }
+
+  Status Bind(const Schema& schema) override;
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override;
+  void CollectColumns(std::vector<std::string>& out) const override {
+    for (const ExprPtr& child : children_) child->CollectColumns(out);
+  }
+
+  LogicalOp op() const { return op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+ private:
+  LogicalOp op_;
+  std::vector<ExprPtr> children_;
+};
+
+/// SQL LIKE: `expr LIKE 'pattern'` with % and _ wildcards.
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern)
+      : input_(std::move(input)), pattern_(std::move(pattern)) {}
+
+  Status Bind(const Schema& schema) override { return input_->Bind(schema); }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override {
+    return input_->ToString() + " LIKE '" + pattern_ + "'";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<LikeExpr>(input_->Clone(), pattern_);
+  }
+  void CollectColumns(std::vector<std::string>& out) const override {
+    input_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+};
+
+/// The relational-side text matching function: true iff the value of `term`
+/// (a string) occurs as a word/phrase within a single value of the
+/// (flattened multi-value) field text produced by `field`. This is the SQL
+/// string-processing capability RTP relies on; its semantics match the text
+/// engine exactly (see common/text_match.h).
+class TextMatchExpr final : public Expr {
+ public:
+  TextMatchExpr(ExprPtr term, ExprPtr field)
+      : term_(std::move(term)), field_(std::move(field)) {}
+
+  Status Bind(const Schema& schema) override {
+    TEXTJOIN_RETURN_IF_ERROR(term_->Bind(schema));
+    return field_->Bind(schema);
+  }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override {
+    return term_->ToString() + " IN " + field_->ToString();
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<TextMatchExpr>(term_->Clone(), field_->Clone());
+  }
+  void CollectColumns(std::vector<std::string>& out) const override {
+    term_->CollectColumns(out);
+    field_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr term_;
+  ExprPtr field_;
+};
+
+/// Convenience factories, used heavily by tests and query builders.
+ExprPtr Lit(Value v);
+ExprPtr Col(std::string ref);
+ExprPtr Cmp(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr Eq(ExprPtr left, ExprPtr right);
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Not(ExprPtr child);
+ExprPtr Like(ExprPtr input, std::string pattern);
+ExprPtr TextMatch(ExprPtr term, ExprPtr field);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_EXPRESSION_H_

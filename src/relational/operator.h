@@ -1,0 +1,42 @@
+#ifndef TEXTJOIN_RELATIONAL_OPERATOR_H_
+#define TEXTJOIN_RELATIONAL_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+/// \file
+/// The Volcano-style iterator interface all relational operators implement.
+
+namespace textjoin {
+
+/// Pull-based operator: Open() once, Next() until nullopt, Close() once.
+/// Operators own their children. Rewinding is done by calling Open() again.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares (or rewinds) the iterator.
+  virtual void Open() = 0;
+
+  /// Produces the next output row, or nullopt at end of stream.
+  virtual std::optional<Row> Next() = 0;
+
+  /// Releases per-execution resources. Idempotent.
+  virtual void Close() = 0;
+
+  /// The output schema. Valid as soon as the operator is constructed.
+  virtual const Schema& schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Opens `op`, drains every row, closes it, and returns the rows.
+std::vector<Row> DrainOperator(Operator& op);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_OPERATOR_H_

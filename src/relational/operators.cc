@@ -1,0 +1,209 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace textjoin {
+
+std::vector<Row> DrainOperator(Operator& op) {
+  std::vector<Row> out;
+  op.Open();
+  while (std::optional<Row> row = op.Next()) {
+    out.push_back(std::move(*row));
+  }
+  op.Close();
+  return out;
+}
+
+TableScan::TableScan(const Table* table) : table_(table) {
+  TEXTJOIN_CHECK(table_ != nullptr, "TableScan over null table");
+}
+
+std::optional<Row> TableScan::Next() {
+  if (pos_ >= table_->num_rows()) return std::nullopt;
+  return table_->row(pos_++);
+}
+
+std::optional<Row> RowsSource::Next() {
+  if (pos_ >= rows_.size()) return std::nullopt;
+  return rows_[pos_++];
+}
+
+Filter::Filter(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  TEXTJOIN_CHECK(predicate_ != nullptr, "Filter needs a predicate");
+  const Status st = predicate_->Bind(child_->schema());
+  TEXTJOIN_CHECK(st.ok(), "Filter predicate bind failed: %s",
+                 st.ToString().c_str());
+}
+
+std::optional<Row> Filter::Next() {
+  while (std::optional<Row> row = child_->Next()) {
+    if (ValueIsTrue(predicate_->Eval(*row))) return row;
+  }
+  return std::nullopt;
+}
+
+Project::Project(OperatorPtr child,
+                 const std::vector<std::string>& column_refs)
+    : child_(std::move(child)) {
+  for (const std::string& ref : column_refs) {
+    Result<size_t> idx = child_->schema().Resolve(ref);
+    TEXTJOIN_CHECK(idx.ok(), "Project: %s", idx.status().ToString().c_str());
+    indices_.push_back(*idx);
+    schema_.AddColumn(child_->schema().column(*idx));
+  }
+}
+
+std::optional<Row> Project::Next() {
+  std::optional<Row> row = child_->Next();
+  if (!row) return std::nullopt;
+  return ProjectRow(*row, indices_);
+}
+
+NestedLoopJoin::NestedLoopJoin(OperatorPtr left, OperatorPtr right,
+                               ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      schema_(left_->schema().Concat(right_->schema())) {
+  if (predicate_ != nullptr) {
+    const Status st = predicate_->Bind(schema_);
+    TEXTJOIN_CHECK(st.ok(), "NLJ predicate bind failed: %s",
+                   st.ToString().c_str());
+  }
+}
+
+void NestedLoopJoin::Open() {
+  left_->Open();
+  inner_rows_ = DrainOperator(*right_);
+  current_left_ = left_->Next();
+  inner_pos_ = 0;
+}
+
+std::optional<Row> NestedLoopJoin::Next() {
+  while (current_left_) {
+    while (inner_pos_ < inner_rows_.size()) {
+      Row combined = ConcatRows(*current_left_, inner_rows_[inner_pos_++]);
+      if (predicate_ == nullptr || ValueIsTrue(predicate_->Eval(combined))) {
+        return combined;
+      }
+    }
+    current_left_ = left_->Next();
+    inner_pos_ = 0;
+  }
+  return std::nullopt;
+}
+
+void NestedLoopJoin::Close() {
+  left_->Close();
+  inner_rows_.clear();
+}
+
+HashJoin::HashJoin(OperatorPtr left, OperatorPtr right,
+                   std::vector<KeyPair> keys, ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      residual_(std::move(residual)),
+      schema_(left_->schema().Concat(right_->schema())) {
+  TEXTJOIN_CHECK(!keys.empty(), "HashJoin needs at least one key pair");
+  for (const KeyPair& kp : keys) {
+    Result<size_t> li = left_->schema().Resolve(kp.left_ref);
+    TEXTJOIN_CHECK(li.ok(), "HashJoin left key: %s",
+                   li.status().ToString().c_str());
+    Result<size_t> ri = right_->schema().Resolve(kp.right_ref);
+    TEXTJOIN_CHECK(ri.ok(), "HashJoin right key: %s",
+                   ri.status().ToString().c_str());
+    left_key_indices_.push_back(*li);
+    right_key_indices_.push_back(*ri);
+  }
+  if (residual_ != nullptr) {
+    const Status st = residual_->Bind(schema_);
+    TEXTJOIN_CHECK(st.ok(), "HashJoin residual bind failed: %s",
+                   st.ToString().c_str());
+  }
+}
+
+void HashJoin::Open() {
+  hash_table_.clear();
+  right_->Open();
+  while (std::optional<Row> row = right_->Next()) {
+    Row key = ProjectRow(*row, right_key_indices_);
+    hash_table_[std::move(key)].push_back(std::move(*row));
+  }
+  right_->Close();
+  left_->Open();
+  current_left_ = std::nullopt;
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+}
+
+Row HashJoin::LeftKey(const Row& row) const {
+  return ProjectRow(row, left_key_indices_);
+}
+
+std::optional<Row> HashJoin::Next() {
+  for (;;) {
+    if (current_bucket_ != nullptr && bucket_pos_ < current_bucket_->size()) {
+      Row combined =
+          ConcatRows(*current_left_, (*current_bucket_)[bucket_pos_++]);
+      if (residual_ == nullptr || ValueIsTrue(residual_->Eval(combined))) {
+        return combined;
+      }
+      continue;
+    }
+    current_left_ = left_->Next();
+    if (!current_left_) return std::nullopt;
+    auto it = hash_table_.find(LeftKey(*current_left_));
+    current_bucket_ = it == hash_table_.end() ? nullptr : &it->second;
+    bucket_pos_ = 0;
+  }
+}
+
+void HashJoin::Close() {
+  left_->Close();
+  hash_table_.clear();
+}
+
+std::optional<Row> Distinct::Next() {
+  while (std::optional<Row> row = child_->Next()) {
+    if (seen_.insert(*row).second) return row;
+  }
+  return std::nullopt;
+}
+
+Sort::Sort(OperatorPtr child, const std::vector<std::string>& key_refs)
+    : child_(std::move(child)) {
+  for (const std::string& ref : key_refs) {
+    Result<size_t> idx = child_->schema().Resolve(ref);
+    TEXTJOIN_CHECK(idx.ok(), "Sort key: %s", idx.status().ToString().c_str());
+    key_indices_.push_back(*idx);
+  }
+}
+
+void Sort::Open() {
+  sorted_ = DrainOperator(*child_);
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [this](const Row& a, const Row& b) {
+                     return CompareRows(ProjectRow(a, key_indices_),
+                                        ProjectRow(b, key_indices_)) < 0;
+                   });
+  pos_ = 0;
+}
+
+std::optional<Row> Sort::Next() {
+  if (pos_ >= sorted_.size()) return std::nullopt;
+  return sorted_[pos_++];
+}
+
+void Sort::Close() { sorted_.clear(); }
+
+std::optional<Row> Limit::Next() {
+  if (emitted_ >= limit_) return std::nullopt;
+  std::optional<Row> row = child_->Next();
+  if (row) ++emitted_;
+  return row;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,202 @@
+#ifndef TEXTJOIN_RELATIONAL_OPERATORS_H_
+#define TEXTJOIN_RELATIONAL_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/expression.h"
+#include "relational/operator.h"
+#include "relational/table.h"
+
+/// \file
+/// The physical relational operators: scans, filter, project, joins,
+/// distinct, sort, limit, and a materialized-rows source. These are the
+/// building blocks the plan executor composes; the foreign-join operators
+/// live in src/core (they need the text source).
+
+namespace textjoin {
+
+/// Scans an in-memory table. The table must outlive the operator.
+class TableScan final : public Operator {
+ public:
+  explicit TableScan(const Table* table);
+
+  void Open() override { pos_ = 0; }
+  std::optional<Row> Next() override;
+  void Close() override {}
+  const Schema& schema() const override { return table_->schema(); }
+
+ private:
+  const Table* table_;
+  size_t pos_ = 0;
+};
+
+/// Streams a pre-materialized vector of rows with a given schema.
+class RowsSource final : public Operator {
+ public:
+  RowsSource(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  void Open() override { pos_ = 0; }
+  std::optional<Row> Next() override;
+  void Close() override {}
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Emits input rows satisfying a predicate. The predicate is bound against
+/// the child schema at construction (binding failure aborts — callers
+/// validate predicates when building plans).
+class Filter final : public Operator {
+ public:
+  Filter(OperatorPtr child, ExprPtr predicate);
+
+  void Open() override { child_->Open(); }
+  std::optional<Row> Next() override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Projects the input onto a list of column references (no computed
+/// expressions — the paper's queries only project columns).
+class Project final : public Operator {
+ public:
+  Project(OperatorPtr child, const std::vector<std::string>& column_refs);
+
+  void Open() override { child_->Open(); }
+  std::optional<Row> Next() override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<size_t> indices_;
+  Schema schema_;
+};
+
+/// Nested-loop join with an arbitrary join predicate. The right child is
+/// materialized on Open (classic block nested loop over memory-resident
+/// inner).
+class NestedLoopJoin final : public Operator {
+ public:
+  /// `predicate` may be null for a cross product. It is bound against the
+  /// concatenated schema.
+  NestedLoopJoin(OperatorPtr left, OperatorPtr right, ExprPtr predicate);
+
+  void Open() override;
+  std::optional<Row> Next() override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  Schema schema_;
+  std::vector<Row> inner_rows_;
+  std::optional<Row> current_left_;
+  size_t inner_pos_ = 0;
+};
+
+/// Hash equi-join on one or more key pairs, with an optional residual
+/// predicate evaluated on the concatenated row.
+class HashJoin final : public Operator {
+ public:
+  struct KeyPair {
+    std::string left_ref;   ///< Column in the left child.
+    std::string right_ref;  ///< Column in the right child.
+  };
+
+  HashJoin(OperatorPtr left, OperatorPtr right, std::vector<KeyPair> keys,
+           ExprPtr residual);
+
+  void Open() override;
+  std::optional<Row> Next() override;
+  void Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Row LeftKey(const Row& row) const;
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<size_t> left_key_indices_;
+  std::vector<size_t> right_key_indices_;
+  ExprPtr residual_;
+  Schema schema_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> hash_table_;
+  std::optional<Row> current_left_;
+  const std::vector<Row>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// Eliminates duplicate rows (hash-based, streaming).
+class Distinct final : public Operator {
+ public:
+  explicit Distinct(OperatorPtr child) : child_(std::move(child)) {}
+
+  void Open() override {
+    child_->Open();
+    seen_.clear();
+  }
+  std::optional<Row> Next() override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+/// Full sort on a list of key columns (ascending), materializing the input.
+class Sort final : public Operator {
+ public:
+  Sort(OperatorPtr child, const std::vector<std::string>& key_refs);
+
+  void Open() override;
+  std::optional<Row> Next() override;
+  void Close() override;
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<size_t> key_indices_;
+  std::vector<Row> sorted_;
+  size_t pos_ = 0;
+};
+
+/// Emits at most `limit` rows.
+class Limit final : public Operator {
+ public:
+  Limit(OperatorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  void Open() override {
+    child_->Open();
+    emitted_ = 0;
+  }
+  std::optional<Row> Next() override;
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,62 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace textjoin {
+
+Result<size_t> Schema::Resolve(const std::string& ref) const {
+  const size_t dot = ref.find('.');
+  std::string qualifier;
+  std::string name = ref;
+  if (dot != std::string::npos) {
+    qualifier = ref.substr(0, dot);
+    name = ref.substr(dot + 1);
+  }
+  size_t found = columns_.size();
+  size_t matches = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    found = i;
+    ++matches;
+  }
+  if (matches == 0) {
+    return Status::NotFound("no column named '" + ref + "' in schema " +
+                            ToString());
+  }
+  if (matches > 1) {
+    return Status::InvalidArgument("ambiguous column reference '" + ref +
+                                   "' in schema " + ToString());
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Column> combined = columns_;
+  combined.insert(combined.end(), right.columns_.begin(),
+                  right.columns_.end());
+  return Schema(std::move(combined));
+}
+
+Schema Schema::WithQualifier(const std::string& qualifier) const {
+  std::vector<Column> renamed = columns_;
+  for (Column& c : renamed) c.qualifier = qualifier;
+  return Schema(std::move(renamed));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += columns_[i].QualifiedName();
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,68 @@
+#ifndef TEXTJOIN_RELATIONAL_SCHEMA_H_
+#define TEXTJOIN_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+/// \file
+/// Column and schema metadata for the in-memory relational engine.
+
+namespace textjoin {
+
+/// A column: an optional relation qualifier ("student"), a name ("name"),
+/// and a declared type.
+struct Column {
+  std::string qualifier;  ///< Owning relation/alias; empty if unqualified.
+  std::string name;       ///< Column name within the relation.
+  ValueType type = ValueType::kString;
+
+  /// "qualifier.name", or just "name" when unqualified.
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// An ordered list of columns. Schemas are value types; joins concatenate
+/// them. Column lookup accepts either a bare name (which must be
+/// unambiguous) or a qualified "relation.name".
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Appends a column and returns its index.
+  size_t AddColumn(Column column) {
+    columns_.push_back(std::move(column));
+    return columns_.size() - 1;
+  }
+
+  /// Resolves a column reference. `ref` may be "name" or "qualifier.name".
+  /// Fails with NotFound if absent, InvalidArgument if a bare name is
+  /// ambiguous.
+  Result<size_t> Resolve(const std::string& ref) const;
+
+  /// Returns the concatenation of this schema and `right` (join output).
+  Schema Concat(const Schema& right) const;
+
+  /// Returns a copy of this schema with every column's qualifier replaced.
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  /// Renders "(q.a:STRING, q.b:INT64, ...)" for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_SCHEMA_H_

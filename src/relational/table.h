@@ -1,0 +1,51 @@
+#ifndef TEXTJOIN_RELATIONAL_TABLE_H_
+#define TEXTJOIN_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+/// \file
+/// In-memory heap table.
+
+namespace textjoin {
+
+/// A named, in-memory relation: a schema plus a vector of rows. Tables are
+/// append-only (sufficient for the paper's read-only analytical workload).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_.at(i); }
+
+  /// Appends a row after checking arity and per-column type compatibility
+  /// (NULL is compatible with every column type).
+  Status Insert(Row row);
+
+  /// Appends a row without validation (hot path for generators that
+  /// construct rows from the schema itself).
+  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Removes all rows, keeping the schema.
+  void Clear() { rows_.clear(); }
+
+  /// Returns the distinct count of the projection onto `column_indices`.
+  size_t CountDistinct(const std::vector<size_t>& column_indices) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_TABLE_H_

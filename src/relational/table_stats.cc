@@ -1,0 +1,101 @@
+#include "relational/table_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace textjoin {
+
+TableStats TableStats::Analyze(const Table& table) {
+  TableStats stats;
+  stats.num_rows_ = table.num_rows();
+  const size_t ncols = table.schema().num_columns();
+  stats.columns_.resize(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    std::unordered_set<Value, ValueHash> distinct;
+    ColumnStats& cs = stats.columns_[c];
+    for (const Row& row : table.rows()) {
+      const Value& v = row.at(c);
+      if (v.is_null()) {
+        ++cs.num_nulls;
+        continue;
+      }
+      distinct.insert(v);
+      if (cs.min.is_null() || v < cs.min) cs.min = v;
+      if (cs.max.is_null() || v > cs.max) cs.max = v;
+    }
+    cs.num_distinct = distinct.size();
+    // Equi-depth histogram over the sorted non-null values.
+    std::vector<Value> values;
+    values.reserve(table.num_rows());
+    for (const Row& row : table.rows()) {
+      if (!row.at(c).is_null()) values.push_back(row.at(c));
+    }
+    if (!values.empty()) {
+      std::sort(values.begin(), values.end());
+      for (size_t b = 0; b <= kHistogramBuckets; ++b) {
+        const size_t idx =
+            std::min(values.size() - 1,
+                     b * (values.size() - 1) / kHistogramBuckets);
+        cs.histogram.push_back(values[idx]);
+      }
+    }
+  }
+  return stats;
+}
+
+double TableStats::FractionBelow(size_t column_index, const Value& v) const {
+  const std::vector<Value>& fences = columns_.at(column_index).histogram;
+  if (fences.size() < 2) return 0.5;
+  if (v <= fences.front()) return 0.0;
+  if (v > fences.back()) return 1.0;
+  // Find the bucket containing v; each bucket holds 1/B of the rows.
+  for (size_t b = 0; b + 1 < fences.size(); ++b) {
+    if (v <= fences[b + 1]) {
+      // Attribute half the bucket (no intra-bucket interpolation for
+      // non-numeric types; good enough for planning).
+      return (static_cast<double>(b) + 0.5) /
+             static_cast<double>(fences.size() - 1);
+    }
+  }
+  return 1.0;
+}
+
+double TableStats::EqSelectivity(size_t column_index) const {
+  const size_t d = columns_.at(column_index).num_distinct;
+  if (d == 0) return 0.0;
+  return 1.0 / static_cast<double>(d);
+}
+
+double TableStats::CompareSelectivity(CompareOp op, size_t column_index,
+                                      const Value* literal) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return EqSelectivity(column_index);
+    case CompareOp::kNe:
+      return 1.0 - EqSelectivity(column_index);
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      if (literal == nullptr || literal->is_null()) return 1.0 / 3.0;
+      const double below = FractionBelow(column_index, *literal);
+      const double eq = EqSelectivity(column_index);
+      switch (op) {
+        case CompareOp::kLt:
+          return below;
+        case CompareOp::kLe:
+          return std::min(1.0, below + eq);
+        case CompareOp::kGt:
+          return std::max(0.0, 1.0 - below - eq);
+        case CompareOp::kGe:
+          return std::max(0.0, 1.0 - below);
+        default:
+          break;
+      }
+      return 1.0 / 3.0;
+    }
+  }
+  return 1.0 / 3.0;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,51 @@
+#include "relational/tuple.h"
+
+namespace textjoin {
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out = left;
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Row ProjectRow(const Row& row, const std::vector<size_t>& indices) {
+  Row out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(row.at(i));
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "[";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x345678;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  return CompareRows(a, b) == 0;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,42 @@
+#ifndef TEXTJOIN_RELATIONAL_TUPLE_H_
+#define TEXTJOIN_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+/// \file
+/// Row representation and small row helpers.
+
+namespace textjoin {
+
+/// A row is a positional vector of values matching some Schema.
+using Row = std::vector<Value>;
+
+/// Returns the concatenation of two rows (join output).
+Row ConcatRows(const Row& left, const Row& right);
+
+/// Returns the projection of `row` onto `indices` (in the given order).
+Row ProjectRow(const Row& row, const std::vector<size_t>& indices);
+
+/// Renders "[v1, v2, ...]" for debugging and example output.
+std::string RowToString(const Row& row);
+
+/// Hash of an entire row, combining per-value hashes order-sensitively.
+size_t HashRow(const Row& row);
+
+/// Hash/equality functors so rows can key unordered containers.
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+/// Lexicographic three-way comparison of rows by Value::Compare.
+int CompareRows(const Row& a, const Row& b);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_RELATIONAL_TUPLE_H_

@@ -1,0 +1,81 @@
+#include "sql/federation_service.h"
+
+#include "connector/sampler.h"
+#include "sql/parser.h"
+
+namespace textjoin {
+
+Status FederationService::EnsureStatistics(const FederatedQuery& query) {
+  if (options_.oracle_stats) {
+    // Exact statistics computed engine-side (no metered traffic); cheap
+    // enough to recompute per query, and idempotent.
+    return ComputeExactStats(query, *catalog_, *engine_, registry_);
+  }
+  // Sampling mode (paper Section 4.2): probe the source for predicates we
+  // have not seen before; table stats are computed locally.
+  for (const RelationRef& rel : query.relations) {
+    if (!registry_.GetTableStats(rel.table_name).ok()) {
+      TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                                catalog_->GetTable(rel.table_name));
+      registry_.SetTableStats(rel.table_name, TableStats::Analyze(*table));
+    }
+  }
+  ScopedMeter redirect(source_, &stats_meter_);
+  for (const TextJoinPredicate& pred : query.text_joins) {
+    if (registry_.HasTextJoinStats(pred.column_ref, pred.field)) continue;
+    const size_t dot = pred.column_ref.find('.');
+    if (dot == std::string::npos) {
+      return Status::InvalidArgument("text join column '" + pred.column_ref +
+                                     "' must be qualified");
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        const RelationRef* rel,
+        query.FindRelation(pred.column_ref.substr(0, dot)));
+    TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                              catalog_->GetTable(rel->table_name));
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        size_t col,
+        table->schema().WithQualifier(rel->name()).Resolve(pred.column_ref));
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        PredicateStatsEstimate est,
+        EstimatePredicateStats(*table, col, source_, pred.field,
+                               options_.sample_size, rng_));
+    registry_.SetTextJoinStats(pred.column_ref, pred.field, est.selectivity,
+                               est.fanout);
+  }
+  for (const TextSelection& sel : query.text_selections) {
+    if (registry_.GetTextSelectionStats(sel.term, sel.field).ok()) continue;
+    // One short-form search measures the selection exactly.
+    TextQueryPtr probe = TextQuery::Term(sel.field, sel.term);
+    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                              source_.Search(*probe));
+    // Postings estimate: result size is a lower bound on list length; use
+    // it (the cost term is tiny under c_p).
+    registry_.SetTextSelectionStats(sel.term, sel.field,
+                                    static_cast<double>(docids.size()),
+                                    static_cast<double>(docids.size()));
+  }
+  return Status::OK();
+}
+
+Result<PlanNodePtr> FederationService::Plan(const FederatedQuery& query) {
+  TEXTJOIN_RETURN_IF_ERROR(EnsureStatistics(query));
+  Enumerator enumerator(catalog_, &registry_, engine_->num_documents(),
+                        engine_->max_search_terms(), options_.enumerator);
+  return enumerator.Optimize(query);
+}
+
+Result<ExecutionResult> FederationService::Query(const std::string& sql) {
+  TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, text_));
+  TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
+  PlanExecutor executor(catalog_, &source_);
+  return executor.Execute(*plan, query);
+}
+
+Result<std::string> FederationService::Explain(const std::string& sql) {
+  TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, text_));
+  TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
+  return query.ToString() + "\n" + plan->ToString(query);
+}
+
+}  // namespace textjoin

@@ -1,0 +1,88 @@
+#ifndef TEXTJOIN_SQL_FEDERATION_SERVICE_H_
+#define TEXTJOIN_SQL_FEDERATION_SERVICE_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "connector/remote_text_source.h"
+#include "core/enumerator.h"
+#include "core/executor.h"
+#include "core/statistics.h"
+
+/// \file
+/// The one-stop facade over the whole pipeline: SQL text in, rows out.
+/// Wires together the parser, statistics acquisition (sampling per paper
+/// Section 4.2, or oracle mode for experiments), the PrL enumerator, the
+/// plan executor, and the access meter.
+
+namespace textjoin {
+
+/// A federation of one relational catalog and one external text source.
+class FederationService {
+ public:
+  struct Options {
+    /// true: compute exact statistics engine-side (free, experiment mode).
+    /// false: sample the text source per Section 4.2; sampling charges go
+    /// to stats_meter() and are amortized across queries.
+    bool oracle_stats = true;
+    size_t sample_size = 50;        ///< Values probed per predicate.
+    uint64_t sampling_seed = 42;
+    EnumeratorOptions enumerator;   ///< Plan-space knobs.
+  };
+
+  /// All pointers must outlive the service. `text` declares how the
+  /// engine appears as a relation (alias + fields).
+  FederationService(const Catalog* catalog, TextEngine* engine,
+                    TextRelationDecl text, Options options)
+      : catalog_(catalog),
+        engine_(engine),
+        text_(std::move(text)),
+        options_(options),
+        source_(engine),
+        rng_(options.sampling_seed) {}
+
+  /// Convenience constructor with default options.
+  FederationService(const Catalog* catalog, TextEngine* engine,
+                    TextRelationDecl text)
+      : FederationService(catalog, engine, std::move(text), Options{}) {}
+
+  FederationService(const FederationService&) = delete;
+  FederationService& operator=(const FederationService&) = delete;
+
+  /// Parses, optimizes, and executes `sql`. Statistics for predicates not
+  /// yet known are acquired on first use and cached across queries.
+  Result<ExecutionResult> Query(const std::string& sql);
+
+  /// Parses and optimizes `sql`, returning the EXPLAIN rendering of the
+  /// chosen plan (no execution, no meter charges beyond statistics).
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Cumulative execution charges (per-query deltas are the caller's job).
+  const AccessMeter& meter() const { return source_.meter(); }
+  void ResetMeter() { source_.ResetMeter(); }
+
+  /// Charges incurred acquiring statistics (sampling mode only).
+  const AccessMeter& stats_meter() const { return stats_meter_; }
+
+  /// The statistics cache (exposed for inspection/preloading).
+  StatsRegistry& stats() { return registry_; }
+
+ private:
+  /// Ensures the registry covers every predicate of `query`.
+  Status EnsureStatistics(const FederatedQuery& query);
+
+  Result<PlanNodePtr> Plan(const FederatedQuery& query);
+
+  const Catalog* catalog_;
+  TextEngine* engine_;
+  TextRelationDecl text_;
+  Options options_;
+  RemoteTextSource source_;
+  StatsRegistry registry_;
+  AccessMeter stats_meter_;
+  Rng rng_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SQL_FEDERATION_SERVICE_H_

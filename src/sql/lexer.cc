@@ -1,0 +1,103 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace textjoin {
+
+Result<std::vector<SqlToken>> LexSql(const std::string& sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {SqlTokenKind::kIdentifier, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // A dot followed by a non-digit terminates the number (e.g. in
+          // a malformed "1.x"); inside digits it makes a float.
+          if (i + 1 < n &&
+              std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+            is_float = true;
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      tokens.push_back({is_float ? SqlTokenKind::kFloat
+                                 : SqlTokenKind::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
+      }
+      tokens.push_back({SqlTokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-character symbols first.
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({SqlTokenKind::kSymbol, "!=", start});
+      i += 2;
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      tokens.push_back({SqlTokenKind::kSymbol, "!=", start});
+      i += 2;
+      continue;
+    }
+    if ((c == '<' || c == '>') && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back(
+          {SqlTokenKind::kSymbol, std::string(1, c) + "=", start});
+      i += 2;
+      continue;
+    }
+    if (c == '.' || c == ',' || c == '*' || c == '(' || c == ')' ||
+        c == '=' || c == '<' || c == '>') {
+      tokens.push_back({SqlTokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(start));
+  }
+  tokens.push_back({SqlTokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,37 @@
+#ifndef TEXTJOIN_SQL_LEXER_H_
+#define TEXTJOIN_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Tokenizer for the mini SQL dialect (see sql/parser.h).
+
+namespace textjoin {
+
+/// Token categories produced by the lexer.
+enum class SqlTokenKind {
+  kIdentifier,  ///< table / column / keyword text (case preserved).
+  kString,      ///< 'single quoted' literal (quotes stripped, '' escapes).
+  kInteger,
+  kFloat,
+  kSymbol,  ///< One of  . , * ( ) = != < <= > >=
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct SqlToken {
+  SqlTokenKind kind = SqlTokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+/// Tokenizes `sql`. The result always ends with a kEnd token. Fails with
+/// InvalidArgument on unterminated strings or unexpected characters.
+Result<std::vector<SqlToken>> LexSql(const std::string& sql);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SQL_LEXER_H_

@@ -1,0 +1,38 @@
+#ifndef TEXTJOIN_SQL_PARSER_H_
+#define TEXTJOIN_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/federated_query.h"
+
+/// \file
+/// Parser for the paper's SQL-like conjunctive query dialect (Section 2.2):
+///
+///   SELECT * | col [, col ...]
+///   FROM table [alias] [, table [alias] ...]
+///   WHERE conjunct [AND conjunct ...]
+///
+///   conjunct := operand (= | != | < | <= | > | >=) operand
+///             | column LIKE 'pattern'
+///             | 'term'  IN text.field     -- text selection
+///             | column  IN text.field     -- text join (foreign join)
+///   operand  := [rel.]column | 'string' | integer | float
+///
+/// One FROM entry may name the external text source (matched against the
+/// TextRelationDecl's alias); `IN` predicates against its fields become
+/// text selections/joins, everything else stays relational. Queries are
+/// conjunctive only — OR in the WHERE clause is rejected, matching the
+/// paper's query class.
+
+namespace textjoin {
+
+/// Parses `sql` into a FederatedQuery. `text` declares the external text
+/// relation (alias + fields); pass an empty alias for pure-relational
+/// parsing. Keywords and identifiers are case-insensitive.
+Result<FederatedQuery> ParseQuery(const std::string& sql,
+                                  const TextRelationDecl& text);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_SQL_PARSER_H_

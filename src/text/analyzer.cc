@@ -1,0 +1,28 @@
+#include "text/analyzer.h"
+
+#include "common/check.h"
+#include "common/text_match.h"
+
+namespace textjoin {
+
+std::vector<TokenOccurrence> AnalyzeFieldValues(
+    const std::vector<std::string>& values) {
+  std::vector<TokenOccurrence> out;
+  for (size_t j = 0; j < values.size(); ++j) {
+    const std::vector<std::string> tokens = TokenizeText(values[j]);
+    TEXTJOIN_CHECK(tokens.size() < kFieldValuePositionGap,
+                   "field value has too many tokens for the position gap");
+    const TokenPos base =
+        static_cast<TokenPos>(j) * kFieldValuePositionGap;
+    for (size_t p = 0; p < tokens.size(); ++p) {
+      out.push_back({tokens[p], base + static_cast<TokenPos>(p)});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AnalyzeTerm(std::string_view term) {
+  return TokenizeText(term);
+}
+
+}  // namespace textjoin

@@ -1,0 +1,34 @@
+#ifndef TEXTJOIN_TEXT_ANALYZER_H_
+#define TEXTJOIN_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/postings.h"
+
+/// \file
+/// Turns field text into (token, position) pairs for indexing, and query
+/// terms into token sequences. Built on common/text_match.h so its
+/// semantics provably agree with the relational-side string matcher.
+
+namespace textjoin {
+
+/// A token occurrence within one field of a document.
+struct TokenOccurrence {
+  std::string token;
+  TokenPos position;
+};
+
+/// Tokenizes the values of a multi-valued field. The j-th value's tokens get
+/// positions j * kFieldValuePositionGap + index, so phrases never match
+/// across values.
+std::vector<TokenOccurrence> AnalyzeFieldValues(
+    const std::vector<std::string>& values);
+
+/// Tokenizes a query term (word or phrase) into its lowercase tokens.
+std::vector<std::string> AnalyzeTerm(std::string_view term);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_ANALYZER_H_

@@ -1,0 +1,14 @@
+#include "text/document.h"
+
+namespace textjoin {
+
+const std::vector<std::string>& Document::FieldValues(
+    const std::string& field) const {
+  static const std::vector<std::string>* const kEmpty =
+      new std::vector<std::string>();
+  auto it = fields.find(field);
+  if (it == fields.end()) return *kEmpty;
+  return it->second;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,32 @@
+#ifndef TEXTJOIN_TEXT_DOCUMENT_H_
+#define TEXTJOIN_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file
+/// Document model for the Boolean text retrieval engine.
+///
+/// Following the paper's model (Section 2.1): a document is uniquely
+/// identified by a docid and consists of a set of text fields (author,
+/// title, abstract, ...). Fields may be multi-valued (e.g. several authors).
+
+namespace textjoin {
+
+/// Internal dense document number used by posting lists.
+using DocNum = uint32_t;
+
+/// A document: an external docid string plus named multi-valued text fields.
+struct Document {
+  std::string docid;  ///< External identifier (returned in result sets).
+  std::map<std::string, std::vector<std::string>> fields;
+
+  /// The values of `field`, or an empty list if absent.
+  const std::vector<std::string>& FieldValues(const std::string& field) const;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_DOCUMENT_H_

@@ -1,0 +1,123 @@
+#include "text/eval.h"
+
+#include "common/check.h"
+#include "text/analyzer.h"
+
+namespace textjoin {
+namespace {
+
+/// Recursive evaluator (mirrors the paper's description of processing:
+/// retrieve lists, merge).
+class Evaluator {
+ public:
+  Evaluator(const ListProvider& lists, size_t num_documents)
+      : lists_(lists), num_documents_(num_documents) {}
+
+  Result<PostingList> Eval(const TextQuery& node) {
+    switch (node.kind()) {
+      case TextQuery::Kind::kTerm:
+        return EvalTerm(node);
+      case TextQuery::Kind::kAnd: {
+        TEXTJOIN_ASSIGN_OR_RETURN(PostingList acc,
+                                  Eval(*node.children()[0]));
+        for (size_t i = 1; i < node.children().size(); ++i) {
+          if (acc.empty()) break;  // short-circuit like a real engine
+          TEXTJOIN_ASSIGN_OR_RETURN(PostingList next,
+                                    Eval(*node.children()[i]));
+          acc = IntersectLists(acc, next, /*counter=*/nullptr);
+        }
+        return acc;
+      }
+      case TextQuery::Kind::kOr: {
+        PostingList acc;
+        for (const TextQueryPtr& child : node.children()) {
+          TEXTJOIN_ASSIGN_OR_RETURN(PostingList next, Eval(*child));
+          acc = UnionLists(acc, next, /*counter=*/nullptr);
+        }
+        return acc;
+      }
+      case TextQuery::Kind::kNear: {
+        TEXTJOIN_ASSIGN_OR_RETURN(PostingList left,
+                                  Eval(*node.children()[0]));
+        TEXTJOIN_ASSIGN_OR_RETURN(PostingList right,
+                                  Eval(*node.children()[1]));
+        return ProximityMerge(left, right, node.near_distance(),
+                              /*counter=*/nullptr);
+      }
+      case TextQuery::Kind::kNot: {
+        // Complement against the collection; reading the document
+        // directory costs one pass over D postings.
+        TEXTJOIN_ASSIGN_OR_RETURN(PostingList child,
+                                  Eval(*node.children()[0]));
+        postings_ += num_documents_;
+        return DifferenceLists(AllDocsList(), child, /*counter=*/nullptr);
+      }
+    }
+    TEXTJOIN_UNREACHABLE("bad TextQuery kind");
+  }
+
+  uint64_t postings() const { return postings_; }
+
+ private:
+  Result<PostingList> EvalTerm(const TextQuery& node) {
+    if (node.term_kind() == TermKind::kPrefix) {
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          std::vector<PostingList> prefix_lists,
+          lists_.GetPrefixLists(node.field(), node.term()));
+      PostingList acc;
+      for (const PostingList& list : prefix_lists) {
+        postings_ += list.size();
+        acc = UnionLists(acc, list, /*counter=*/nullptr);
+      }
+      return acc;
+    }
+    const std::vector<std::string> tokens = AnalyzeTerm(node.term());
+    if (tokens.empty()) return PostingList{};
+    TEXTJOIN_ASSIGN_OR_RETURN(PostingList acc,
+                              lists_.GetList(node.field(), tokens[0]));
+    postings_ += acc.size();
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (acc.empty()) break;  // short-circuit; remaining lists not read
+      TEXTJOIN_ASSIGN_OR_RETURN(PostingList next,
+                                lists_.GetList(node.field(), tokens[i]));
+      postings_ += next.size();
+      acc = PhraseAdjacent(acc, next, /*counter=*/nullptr);
+    }
+    return acc;
+  }
+
+  PostingList AllDocsList() const {
+    PostingList all;
+    all.reserve(num_documents_);
+    for (size_t n = 0; n < num_documents_; ++n) {
+      all.push_back(Posting{static_cast<DocNum>(n), {0}});
+    }
+    return all;
+  }
+
+  const ListProvider& lists_;
+  size_t num_documents_;
+  uint64_t postings_ = 0;
+};
+
+}  // namespace
+
+Result<EngineSearchResult> EvaluateBooleanQuery(const TextQuery& query,
+                                                const ListProvider& lists,
+                                                size_t num_documents,
+                                                size_t max_terms) {
+  const size_t terms = query.CountTerms();
+  if (terms > max_terms) {
+    return Status::ResourceExhausted(
+        "search has " + std::to_string(terms) + " terms; the limit is " +
+        std::to_string(max_terms));
+  }
+  Evaluator evaluator(lists, num_documents);
+  TEXTJOIN_ASSIGN_OR_RETURN(PostingList matched, evaluator.Eval(query));
+  EngineSearchResult result;
+  result.docs = DocsOf(matched);
+  result.postings_processed = evaluator.postings();
+  return result;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,47 @@
+#ifndef TEXTJOIN_TEXT_EVAL_H_
+#define TEXTJOIN_TEXT_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/postings.h"
+#include "text/query.h"
+#include "text/searchable.h"
+
+/// \file
+/// The Boolean search evaluator, shared by every engine implementation:
+/// retrieves posting lists through a ListProvider and combines them with
+/// the sorted-list merges of postings.h. Charging follows the paper's
+/// model: postings_processed = total length of the inverted lists
+/// retrieved (merges are linear in those lengths).
+
+namespace textjoin {
+
+/// Where posting lists come from: an in-memory index, or an on-disk index
+/// with a main-memory directory.
+class ListProvider {
+ public:
+  virtual ~ListProvider() = default;
+
+  /// The posting list for `token` in `field` (empty if absent). `token`
+  /// is already analyzed (lowercase).
+  virtual Result<PostingList> GetList(const std::string& field,
+                                      const std::string& token) const = 0;
+
+  /// Posting lists for every token in `field` starting with `prefix`
+  /// (truncated searches).
+  virtual Result<std::vector<PostingList>> GetPrefixLists(
+      const std::string& field, const std::string& prefix) const = 0;
+};
+
+/// Evaluates `query` against `lists`. `num_documents` is needed for NOT
+/// (complement); `max_terms` enforces the per-search limit M.
+Result<EngineSearchResult> EvaluateBooleanQuery(const TextQuery& query,
+                                                const ListProvider& lists,
+                                                size_t num_documents,
+                                                size_t max_terms);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_EVAL_H_

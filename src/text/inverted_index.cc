@@ -1,0 +1,74 @@
+#include "text/inverted_index.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace textjoin {
+
+void InvertedIndex::AddDocument(DocNum num, const Document& doc) {
+  for (const auto& [field_name, values] : doc.fields) {
+    std::map<std::string, PostingList>& lists = fields_[field_name];
+    for (const TokenOccurrence& occ : AnalyzeFieldValues(values)) {
+      PostingList& list = lists[occ.token];
+      if (list.empty() || list.back().doc != num) {
+        TEXTJOIN_CHECK(list.empty() || list.back().doc < num,
+                       "documents must be indexed in increasing order");
+        list.push_back(Posting{num, {}});
+        ++total_postings_;
+      }
+      list.back().positions.push_back(occ.position);
+    }
+  }
+}
+
+const PostingList& InvertedIndex::Lookup(const std::string& field,
+                                         const std::string& token) const {
+  static const PostingList* const kEmpty = new PostingList();
+  auto field_it = fields_.find(field);
+  if (field_it == fields_.end()) return *kEmpty;
+  auto token_it = field_it->second.find(ToLower(token));
+  if (token_it == field_it->second.end()) return *kEmpty;
+  return token_it->second;
+}
+
+std::vector<const PostingList*> InvertedIndex::LookupPrefix(
+    const std::string& field, const std::string& prefix) const {
+  std::vector<const PostingList*> out;
+  auto field_it = fields_.find(field);
+  if (field_it == fields_.end()) return out;
+  const std::string lower = ToLower(prefix);
+  for (auto it = field_it->second.lower_bound(lower);
+       it != field_it->second.end() && StartsWith(it->first, lower); ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+size_t InvertedIndex::ListLength(const std::string& field,
+                                 const std::string& token) const {
+  return Lookup(field, token).size();
+}
+
+std::vector<std::string> InvertedIndex::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& [name, lists] : fields_) names.push_back(name);
+  return names;
+}
+
+size_t InvertedIndex::VocabularySize(const std::string& field) const {
+  auto it = fields_.find(field);
+  return it == fields_.end() ? 0 : it->second.size();
+}
+
+void InvertedIndex::ForEachList(
+    const std::function<void(const std::string&, const std::string&,
+                             const PostingList&)>& visit) const {
+  for (const auto& [field, lists] : fields_) {
+    for (const auto& [token, list] : lists) {
+      visit(field, token, list);
+    }
+  }
+}
+
+}  // namespace textjoin

@@ -1,0 +1,75 @@
+#ifndef TEXTJOIN_TEXT_INVERTED_INDEX_H_
+#define TEXTJOIN_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/analyzer.h"
+#include "text/document.h"
+#include "text/postings.h"
+
+/// \file
+/// The inversion-based access method the paper assumes (Section 2.1): each
+/// (field, word) maps to a sorted positional posting list; a main-memory
+/// directory maps a word to its list.
+
+namespace textjoin {
+
+/// Per-field positional inverted index over a growing document collection.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Indexes every field of `doc` under document number `num`. Documents
+  /// must be added in increasing `num` order (posting lists stay sorted).
+  void AddDocument(DocNum num, const Document& doc);
+
+  /// The posting list for `token` in `field`; empty list if absent.
+  const PostingList& Lookup(const std::string& field,
+                            const std::string& token) const;
+
+  /// Posting lists for every indexed token in `field` starting with
+  /// `prefix` (supports truncated searches like 'filter?').
+  std::vector<const PostingList*> LookupPrefix(
+      const std::string& field, const std::string& prefix) const;
+
+  /// Number of documents whose `field` contains `token`.
+  size_t DocFrequency(const std::string& field,
+                      const std::string& token) const {
+    return Lookup(field, token).size();
+  }
+
+  /// Total number of postings in `field`'s lists for `token` — the
+  /// inverted-list length the cost model's L quantity measures.
+  size_t ListLength(const std::string& field, const std::string& token) const;
+
+  /// Names of all indexed fields.
+  std::vector<std::string> FieldNames() const;
+
+  /// Total number of postings across all lists (index size metric).
+  uint64_t TotalPostings() const { return total_postings_; }
+
+  /// Number of distinct tokens indexed in `field`.
+  size_t VocabularySize(const std::string& field) const;
+
+  /// Visits every (field, token, posting list) triple in deterministic
+  /// (field, token) order — used by the on-disk serializer.
+  void ForEachList(
+      const std::function<void(const std::string& field,
+                               const std::string& token,
+                               const PostingList& list)>& visit) const;
+
+ private:
+  // field -> token -> posting list. Ordered map enables prefix range scans.
+  std::map<std::string, std::map<std::string, PostingList>> fields_;
+  uint64_t total_postings_ = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,71 @@
+#ifndef TEXTJOIN_TEXT_POSTINGS_H_
+#define TEXTJOIN_TEXT_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/document.h"
+
+/// \file
+/// Positional posting lists and the linear-merge set operations the paper's
+/// text-system model assumes (Section 2.1: "the lists are sorted and set
+/// operations take time linear in the lengths of the lists").
+
+namespace textjoin {
+
+/// Token position within a document field. Values of a multi-valued field
+/// are separated by a large gap so phrases cannot match across values.
+using TokenPos = uint32_t;
+
+/// Gap between consecutive values of a multi-valued field in position space.
+inline constexpr TokenPos kFieldValuePositionGap = 1u << 16;
+
+/// One posting: a document and the positions at which the term occurs in
+/// the indexed field.
+struct Posting {
+  DocNum doc = 0;
+  std::vector<TokenPos> positions;  ///< Sorted ascending.
+};
+
+/// A posting list, sorted by doc number (ascending, unique).
+using PostingList = std::vector<Posting>;
+
+/// Aggregate counter: every merge below adds the number of input postings it
+/// scanned, which is the quantity the cost model charges c_p for.
+struct MergeCounter {
+  uint64_t postings_processed = 0;
+};
+
+/// Docs present in both lists. Positions are taken from `a` (caller chooses
+/// which side's positions survive; used by conjunction).
+PostingList IntersectLists(const PostingList& a, const PostingList& b,
+                           MergeCounter* counter);
+
+/// Docs present in either list. Positions are merged (sorted, deduplicated)
+/// for docs in both.
+PostingList UnionLists(const PostingList& a, const PostingList& b,
+                       MergeCounter* counter);
+
+/// Docs present in `a` but not `b`.
+PostingList DifferenceLists(const PostingList& a, const PostingList& b,
+                            MergeCounter* counter);
+
+/// Phrase step: docs where some position p in `a` has p+1 in `b`; resulting
+/// positions are the p+1 values (so chains of adjacency steps implement
+/// multi-word phrases).
+PostingList PhraseAdjacent(const PostingList& a, const PostingList& b,
+                           MergeCounter* counter);
+
+/// Proximity step: docs present in both lists where some position pair
+/// (pa, pb) satisfies |pa - pb| <= distance. Resulting positions are the
+/// qualifying positions from `b`. Multi-valued-field position gaps keep
+/// proximity from crossing values as long as distance < the gap.
+PostingList ProximityMerge(const PostingList& a, const PostingList& b,
+                           TokenPos distance, MergeCounter* counter);
+
+/// Extracts the sorted doc numbers of `list`.
+std::vector<DocNum> DocsOf(const PostingList& list);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_POSTINGS_H_

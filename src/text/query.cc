@@ -1,0 +1,289 @@
+#include "text/query.h"
+
+#include <cctype>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace textjoin {
+
+TextQueryPtr TextQuery::Term(std::string field, std::string term,
+                             TermKind term_kind) {
+  TEXTJOIN_CHECK(!field.empty(), "term node needs a field");
+  auto node = TextQueryPtr(new TextQuery());
+  node->kind_ = Kind::kTerm;
+  node->field_ = std::move(field);
+  node->term_ = std::move(term);
+  node->term_kind_ = term_kind;
+  return node;
+}
+
+TextQueryPtr TextQuery::And(std::vector<TextQueryPtr> children) {
+  TEXTJOIN_CHECK(!children.empty(), "and node needs children");
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = TextQueryPtr(new TextQuery());
+  node->kind_ = Kind::kAnd;
+  node->children_ = std::move(children);
+  return node;
+}
+
+TextQueryPtr TextQuery::Or(std::vector<TextQueryPtr> children) {
+  TEXTJOIN_CHECK(!children.empty(), "or node needs children");
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = TextQueryPtr(new TextQuery());
+  node->kind_ = Kind::kOr;
+  node->children_ = std::move(children);
+  return node;
+}
+
+TextQueryPtr TextQuery::Not(TextQueryPtr child) {
+  TEXTJOIN_CHECK(child != nullptr, "not node needs a child");
+  auto node = TextQueryPtr(new TextQuery());
+  node->kind_ = Kind::kNot;
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+TextQueryPtr TextQuery::Near(TextQueryPtr left, TextQueryPtr right,
+                             uint32_t distance) {
+  TEXTJOIN_CHECK(left != nullptr && right != nullptr,
+                 "near needs two children");
+  TEXTJOIN_CHECK(left->kind() == Kind::kTerm &&
+                     right->kind() == Kind::kTerm,
+                 "near children must be terms");
+  auto node = TextQueryPtr(new TextQuery());
+  node->kind_ = Kind::kNear;
+  node->near_distance_ = distance;
+  node->children_.push_back(std::move(left));
+  node->children_.push_back(std::move(right));
+  return node;
+}
+
+size_t TextQuery::CountTerms() const {
+  if (kind_ == Kind::kTerm) return 1;
+  size_t total = 0;
+  for (const TextQueryPtr& child : children_) total += child->CountTerms();
+  return total;
+}
+
+TextQueryPtr TextQuery::Clone() const {
+  auto node = TextQueryPtr(new TextQuery());
+  node->kind_ = kind_;
+  node->field_ = field_;
+  node->term_ = term_;
+  node->term_kind_ = term_kind_;
+  node->near_distance_ = near_distance_;
+  node->children_.reserve(children_.size());
+  for (const TextQueryPtr& child : children_) {
+    node->children_.push_back(child->Clone());
+  }
+  return node;
+}
+
+std::string TextQuery::ToString() const {
+  switch (kind_) {
+    case Kind::kTerm: {
+      std::string rendered = field_ + "='" + term_ + "'";
+      if (term_kind_ == TermKind::kPrefix) {
+        rendered = field_ + "='" + term_ + "?'";
+      }
+      return rendered;
+    }
+    case Kind::kNot:
+      return "not (" + children_[0]->ToString() + ")";
+    case Kind::kNear:
+      return children_[0]->ToString() + " near" +
+             std::to_string(near_distance_) + " " +
+             children_[1]->ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i != 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Minimal hand-rolled tokenizer + recursive-descent parser for the search
+/// syntax documented in the header.
+class QueryParser {
+ public:
+  explicit QueryParser(const std::string& input) : input_(input) {}
+
+  Result<TextQueryPtr> Parse() {
+    Result<TextQueryPtr> expr = ParseOr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Status::InvalidArgument("trailing input in search at offset " +
+                                     std::to_string(pos_) + ": '" +
+                                     input_.substr(pos_) + "'");
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    SkipSpace();
+    const size_t len = std::string_view(kw).size();
+    if (pos_ + len > input_.size()) return false;
+    if (!EqualsIgnoreCase(std::string_view(input_).substr(pos_, len), kw)) {
+      return false;
+    }
+    // Keyword must end at a word boundary.
+    if (pos_ + len < input_.size() &&
+        std::isalnum(static_cast<unsigned char>(input_[pos_ + len]))) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<TextQueryPtr> ParseOr() {
+    std::vector<TextQueryPtr> children;
+    TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr first, ParseAnd());
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("or")) {
+      TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    return TextQuery::Or(std::move(children));
+  }
+
+  Result<TextQueryPtr> ParseAnd() {
+    std::vector<TextQueryPtr> children;
+    TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr first, ParseUnary());
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("and")) {
+      TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    return TextQuery::And(std::move(children));
+  }
+
+  Result<TextQueryPtr> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr child, ParseUnary());
+      return TextQuery::Not(std::move(child));
+    }
+    if (ConsumeChar('(')) {
+      TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr inner, ParseOr());
+      if (!ConsumeChar(')')) {
+        return Status::InvalidArgument("expected ')' in search expression");
+      }
+      return inner;
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr left, ParseTerm());
+    // Optional proximity connector: term near<k> term.
+    uint32_t distance = 0;
+    if (ConsumeNear(&distance)) {
+      TEXTJOIN_ASSIGN_OR_RETURN(TextQueryPtr right, ParseTerm());
+      if (left->kind() != TextQuery::Kind::kTerm ||
+          right->kind() != TextQuery::Kind::kTerm) {
+        return Status::InvalidArgument("near requires plain terms");
+      }
+      return TextQuery::Near(std::move(left), std::move(right), distance);
+    }
+    return left;
+  }
+
+  /// Consumes "near<digits>" (e.g. near10). Fails silently when absent.
+  bool ConsumeNear(uint32_t* distance) {
+    SkipSpace();
+    const size_t save = pos_;
+    if (pos_ + 4 > input_.size() ||
+        !EqualsIgnoreCase(std::string_view(input_).substr(pos_, 4),
+                          "near")) {
+      return false;
+    }
+    pos_ += 4;
+    uint32_t value = 0;
+    bool any = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      value = value * 10 + static_cast<uint32_t>(input_[pos_] - '0');
+      ++pos_;
+      any = true;
+    }
+    if (!any) {
+      pos_ = save;
+      return false;
+    }
+    *distance = value;
+    return true;
+  }
+
+  Result<TextQueryPtr> ParseTerm() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected field name at offset " +
+                                     std::to_string(pos_));
+    }
+    std::string field = input_.substr(start, pos_ - start);
+    if (!ConsumeChar('=')) {
+      return Status::InvalidArgument("expected '=' after field '" + field +
+                                     "'");
+    }
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != '\'') {
+      return Status::InvalidArgument("expected quoted term after '" + field +
+                                     "='");
+    }
+    ++pos_;  // opening quote
+    std::string term;
+    while (pos_ < input_.size() && input_[pos_] != '\'') {
+      term.push_back(input_[pos_++]);
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unterminated quoted term");
+    }
+    ++pos_;  // closing quote
+    TermKind kind = TermKind::kWordOrPhrase;
+    if (!term.empty() && term.back() == '?') {
+      kind = TermKind::kPrefix;
+      term.pop_back();
+    }
+    return TextQuery::Term(std::move(field), std::move(term), kind);
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TextQueryPtr> ParseTextQuery(const std::string& input) {
+  return QueryParser(input).Parse();
+}
+
+}  // namespace textjoin

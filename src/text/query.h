@@ -1,0 +1,96 @@
+#ifndef TEXTJOIN_TEXT_QUERY_H_
+#define TEXTJOIN_TEXT_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Boolean search expression AST (Section 2.1 of the paper): basic search
+/// terms are words, truncated words ('filter?') or phrases ('information
+/// filtering'), optionally limited to a text field (AU='smith'), combined
+/// with and / or / not.
+
+namespace textjoin {
+
+class TextQuery;
+using TextQueryPtr = std::unique_ptr<TextQuery>;
+
+/// How a term node matches.
+enum class TermKind {
+  kWordOrPhrase,  ///< One word, or a phrase if it tokenizes to >1 token.
+  kPrefix,        ///< Truncated word: matches any token with the prefix.
+};
+
+/// One node of a Boolean search expression.
+class TextQuery {
+ public:
+  enum class Kind { kTerm, kAnd, kOr, kNot, kNear };
+
+  /// Builds a field-restricted term node (`field` must be non-empty; the
+  /// paper's systems always search within a field).
+  static TextQueryPtr Term(std::string field, std::string term,
+                           TermKind term_kind = TermKind::kWordOrPhrase);
+  /// Builds a conjunction (requires >= 1 child; a single child passes
+  /// through unchanged in meaning).
+  static TextQueryPtr And(std::vector<TextQueryPtr> children);
+  /// Builds a disjunction (requires >= 1 child).
+  static TextQueryPtr Or(std::vector<TextQueryPtr> children);
+  /// Builds a negation.
+  static TextQueryPtr Not(TextQueryPtr child);
+
+  /// Builds a proximity search (paper Section 2.1: "'information near10
+  /// filtering'"): both children must be term nodes; matches documents
+  /// where occurrences of the two terms lie within `distance` token
+  /// positions of each other (within one field value).
+  static TextQueryPtr Near(TextQueryPtr left, TextQueryPtr right,
+                           uint32_t distance);
+
+  Kind kind() const { return kind_; }
+  const std::string& field() const { return field_; }
+  const std::string& term() const { return term_; }
+  TermKind term_kind() const { return term_kind_; }
+  const std::vector<TextQueryPtr>& children() const { return children_; }
+  uint32_t near_distance() const { return near_distance_; }
+
+  /// Number of basic search terms in the expression — the quantity the text
+  /// system's per-search limit M bounds (|Q| in the paper).
+  size_t CountTerms() const;
+
+  /// Deep copy.
+  TextQueryPtr Clone() const;
+
+  /// Renders Mercury-style text, e.g. "title='belief update' and
+  /// (author='gravano' or author='kao')".
+  std::string ToString() const;
+
+ private:
+  TextQuery() = default;
+
+  Kind kind_ = Kind::kTerm;
+  std::string field_;
+  std::string term_;
+  TermKind term_kind_ = TermKind::kWordOrPhrase;
+  uint32_t near_distance_ = 0;
+  std::vector<TextQueryPtr> children_;
+};
+
+/// Parses the Mercury-style search syntax used throughout the paper:
+///
+///   expr    := or_expr
+///   or_expr := and_expr ("or" and_expr)*
+///   and_expr:= unary ("and" unary)*
+///   unary   := "not" unary | "(" expr ")" | proximity
+///   proximity := term ("near" digits term)?
+///   term    := field "=" 'term'
+///
+/// A term ending in '?' is a truncated (prefix) search. Keywords are
+/// case-insensitive.
+Result<TextQueryPtr> ParseTextQuery(const std::string& input);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_QUERY_H_

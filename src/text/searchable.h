@@ -1,0 +1,50 @@
+#ifndef TEXTJOIN_TEXT_SEARCHABLE_H_
+#define TEXTJOIN_TEXT_SEARCHABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/document.h"
+#include "text/query.h"
+
+/// \file
+/// The capability a text server implementation must provide. Two
+/// implementations exist: TextEngine (documents + in-memory inverted
+/// index) and DiskTextEngine (in-memory directory, posting lists read from
+/// disk — the [DH91] architecture the paper assumes). The connector wraps
+/// either behind the loose-integration TextSource interface.
+
+namespace textjoin {
+
+/// Result of evaluating one search (shared across engine implementations).
+struct EngineSearchResult {
+  /// Matching document numbers, sorted ascending.
+  std::vector<DocNum> docs;
+  /// Total length of the inverted lists retrieved to process the search —
+  /// the quantity the paper's cost model charges c_p per posting for.
+  uint64_t postings_processed = 0;
+};
+
+/// A searchable document collection.
+class SearchableCorpus {
+ public:
+  virtual ~SearchableCorpus() = default;
+
+  /// Evaluates a Boolean search. Fails with ResourceExhausted when the
+  /// query has more than max_search_terms() basic terms.
+  virtual Result<EngineSearchResult> Search(const TextQuery& query) const = 0;
+
+  /// Retrieves the long form of a document by number.
+  virtual const Document& GetDocument(DocNum num) const = 0;
+
+  /// Looks up a document by its external docid.
+  virtual Result<DocNum> FindDocid(const std::string& docid) const = 0;
+
+  virtual size_t num_documents() const = 0;
+  virtual size_t max_search_terms() const = 0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_TEXT_SEARCHABLE_H_

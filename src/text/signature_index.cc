@@ -1,0 +1,90 @@
+#include "text/signature_index.h"
+
+#include <functional>
+
+#include "common/check.h"
+#include "text/analyzer.h"
+
+namespace textjoin {
+
+SignatureIndex::SignatureIndex(size_t signature_bits, int bits_per_token)
+    : signature_bits_(signature_bits),
+      words_per_signature_((signature_bits + 63) / 64),
+      bits_per_token_(bits_per_token) {
+  TEXTJOIN_CHECK(signature_bits_ >= 64, "signature width must be >= 64");
+  TEXTJOIN_CHECK(bits_per_token_ >= 1, "need at least one bit per token");
+}
+
+std::vector<size_t> SignatureIndex::TokenBits(
+    const std::string& token) const {
+  std::vector<size_t> bits;
+  bits.reserve(static_cast<size_t>(bits_per_token_));
+  uint64_t h = std::hash<std::string>()(token);
+  for (int k = 0; k < bits_per_token_; ++k) {
+    // Cheap double hashing: mix with a different odd multiplier per probe.
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(k) + 1;
+    bits.push_back(static_cast<size_t>(h % signature_bits_));
+  }
+  return bits;
+}
+
+void SignatureIndex::AddDocument(DocNum num, const Document& doc) {
+  TEXTJOIN_CHECK(num == num_documents_,
+                 "documents must be added in increasing order");
+  ++num_documents_;
+  for (auto& [field, signatures] : fields_) {
+    (void)field;
+    signatures.resize(num_documents_,
+                      Signature(words_per_signature_, 0));
+  }
+  for (const auto& [field_name, values] : doc.fields) {
+    std::vector<Signature>& signatures = fields_[field_name];
+    signatures.resize(num_documents_, Signature(words_per_signature_, 0));
+    Signature& sig = signatures[num];
+    for (const TokenOccurrence& occ : AnalyzeFieldValues(values)) {
+      for (size_t bit : TokenBits(occ.token)) {
+        sig[bit / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
+  }
+}
+
+std::vector<DocNum> SignatureIndex::Candidates(
+    const std::string& field, const std::string& token) const {
+  std::vector<DocNum> out;
+  auto it = fields_.find(field);
+  if (it == fields_.end()) return out;
+  // Build the query signature.
+  Signature qsig(words_per_signature_, 0);
+  const std::vector<std::string> tokens = AnalyzeTerm(token);
+  if (tokens.empty()) return out;
+  for (const std::string& t : tokens) {
+    for (size_t bit : TokenBits(t)) {
+      qsig[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+  // Scan every document signature (the O(D) cost).
+  const std::vector<Signature>& signatures = it->second;
+  for (DocNum d = 0; d < signatures.size(); ++d) {
+    bool covered = true;
+    for (size_t w = 0; w < words_per_signature_; ++w) {
+      if ((signatures[d][w] & qsig[w]) != qsig[w]) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) out.push_back(d);
+  }
+  return out;
+}
+
+size_t SignatureIndex::StorageBytes() const {
+  size_t bytes = 0;
+  for (const auto& [field, signatures] : fields_) {
+    (void)field;
+    bytes += signatures.size() * words_per_signature_ * 8;
+  }
+  return bytes;
+}
+
+}  // namespace textjoin

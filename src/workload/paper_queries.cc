@@ -1,0 +1,177 @@
+#include "workload/paper_queries.h"
+
+namespace textjoin {
+
+namespace {
+
+/// Filter value "<column>_v0" produced by the extra-column generator.
+std::string ExtraValue(const std::string& column, size_t j) {
+  return column + "_v" + std::to_string(j);
+}
+
+}  // namespace
+
+Result<PaperScenario> BuildQ1(const Q1Config& config) {
+  ScenarioConfig sc;
+  sc.relations = {{"student",
+                   config.num_students,
+                   {{"area", 3}, {"year", 5}}}};
+  sc.predicates = {{"student", "name", "author", config.distinct_names,
+                    config.name_selectivity, config.name_fanout}};
+  sc.selections = {{"beliefupdate", "title", config.selection_match_docs,
+                    /*joint_with_predicate=*/0,
+                    config.selection_joint_docs}};
+  sc.num_documents = config.num_documents;
+  sc.text_alias = "mercury";
+  sc.seed = config.seed;
+  TEXTJOIN_ASSIGN_OR_RETURN(Scenario scenario, BuildScenario(sc));
+
+  FederatedQuery query;
+  query.relations = {{"student", "student"}};
+  query.text = scenario.text;
+  query.has_text_relation = true;
+  query.relational_predicates.push_back(
+      Eq(Col("student.area"), Lit(Value::Str(ExtraValue("area", 0)))));
+  query.text_selections = {{"beliefupdate", "title"}};
+  query.text_joins = {{"student.name", "author"}};
+  // SELECT * — the paper's Q1 retrieves full documents.
+  PaperScenario out;
+  out.scenario = std::move(scenario);
+  out.query = std::move(query);
+  return out;
+}
+
+Result<PaperScenario> BuildQ2(const Q2Config& config) {
+  ScenarioConfig sc;
+  sc.relations = {{"student", config.num_students, {{"advisor", 6}}}};
+  sc.predicates = {{"student", "name", "author", config.distinct_names,
+                    config.name_selectivity, config.name_fanout}};
+  sc.selections = {{"textretrieval", "title", config.selection_match_docs,
+                    /*joint_with_predicate=*/0,
+                    config.selection_joint_docs}};
+  sc.num_documents = config.num_documents;
+  sc.max_search_terms = config.max_search_terms;
+  sc.text_alias = "mercury";
+  sc.seed = config.seed;
+  TEXTJOIN_ASSIGN_OR_RETURN(Scenario scenario, BuildScenario(sc));
+
+  FederatedQuery query;
+  query.relations = {{"student", "student"}};
+  query.text = scenario.text;
+  query.has_text_relation = true;
+  query.relational_predicates.push_back(
+      Eq(Col("student.advisor"), Lit(Value::Str(ExtraValue("advisor", 0)))));
+  query.text_selections = {{"textretrieval", "title"}};
+  query.text_joins = {{"student.name", "author"}};
+  query.output_columns = {"mercury.docid"};  // doc-side semi-join
+  PaperScenario out;
+  out.scenario = std::move(scenario);
+  out.query = std::move(query);
+  return out;
+}
+
+Result<PaperScenario> BuildQ3(const Q3Config& config) {
+  ScenarioConfig sc;
+  sc.relations = {{"project",
+                   config.num_projects,
+                   {{"sponsor", config.sponsors}}}};
+  sc.predicates = {
+      {"project", "name", "title", config.distinct_names,
+       config.name_selectivity, config.name_fanout},
+      {"project", "member", "author", config.distinct_members,
+       config.member_selectivity, config.member_fanout},
+  };
+  sc.joints = {{"project", {0, 1}, config.joint_fraction, config.joint_docs}};
+  sc.num_documents = config.num_documents;
+  sc.text_alias = "mercury";
+  sc.seed = config.seed;
+  TEXTJOIN_ASSIGN_OR_RETURN(Scenario scenario, BuildScenario(sc));
+
+  FederatedQuery query;
+  query.relations = {{"project", "project"}};
+  query.text = scenario.text;
+  query.has_text_relation = true;
+  query.relational_predicates.push_back(
+      Eq(Col("project.sponsor"), Lit(Value::Str(ExtraValue("sponsor", 0)))));
+  query.text_joins = {{"project.name", "title"},
+                      {"project.member", "author"}};
+  query.output_columns = {"project.member", "project.name", "mercury.docid"};
+  PaperScenario out;
+  out.scenario = std::move(scenario);
+  out.query = std::move(query);
+  return out;
+}
+
+Result<PaperScenario> BuildQ4(const Q4Config& config) {
+  ScenarioConfig sc;
+  sc.relations = {{"student",
+                   config.num_students,
+                   {{"area", config.areas}}}};
+  sc.predicates = {
+      // Advisors match only through co-authored (joint) documents.
+      {"student", "advisor", "author", config.distinct_advisors,
+       /*selectivity=*/0.0, /*fanout=*/0.0},
+      {"student", "name", "author", config.distinct_names,
+       config.name_selectivity, config.name_fanout},
+  };
+  sc.joints = {{"student", {0, 1}, config.joint_fraction, config.joint_docs,
+                /*restrict_to_matching=*/false}};
+  sc.num_documents = config.num_documents;
+  sc.text_alias = "mercury";
+  sc.seed = config.seed;
+  TEXTJOIN_ASSIGN_OR_RETURN(Scenario scenario, BuildScenario(sc));
+
+  FederatedQuery query;
+  query.relations = {{"student", "student"}};
+  query.text = scenario.text;
+  query.has_text_relation = true;
+  query.relational_predicates.push_back(
+      Eq(Col("student.area"), Lit(Value::Str(ExtraValue("area", 0)))));
+  query.text_joins = {{"student.advisor", "author"},
+                      {"student.name", "author"}};
+  query.output_columns = {"student.name", "mercury.docid"};
+  PaperScenario out;
+  out.scenario = std::move(scenario);
+  out.query = std::move(query);
+  return out;
+}
+
+Result<PaperScenario> BuildQ5(const Q5Config& config) {
+  ScenarioConfig sc;
+  sc.relations = {
+      {"student",
+       config.num_students,
+       {{"dept", config.departments}}},
+      {"faculty",
+       config.num_faculty,
+       {{"dept", config.departments}}},
+  };
+  sc.predicates = {
+      {"student", "name", "author", config.distinct_student_names,
+       config.student_selectivity, config.student_fanout},
+      {"faculty", "name", "author", config.distinct_faculty_names,
+       config.faculty_selectivity, config.faculty_fanout},
+  };
+  sc.selections = {{"year1993", "year", config.selection_match_docs}};
+  sc.num_documents = config.num_documents;
+  sc.text_alias = "mercury";
+  sc.seed = config.seed;
+  TEXTJOIN_ASSIGN_OR_RETURN(Scenario scenario, BuildScenario(sc));
+
+  FederatedQuery query;
+  query.relations = {{"student", "student"}, {"faculty", "faculty"}};
+  query.text = scenario.text;
+  query.has_text_relation = true;
+  query.relational_predicates.push_back(Cmp(
+      CompareOp::kNe, Col("faculty.dept"), Col("student.dept")));
+  query.text_selections = {{"year1993", "year"}};
+  query.text_joins = {{"student.name", "author"},
+                      {"faculty.name", "author"}};
+  query.output_columns = {"student.name", "faculty.name", "mercury.docid"};
+  PaperScenario out;
+  out.scenario = std::move(scenario);
+  out.query = std::move(query);
+  return out;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,117 @@
+#ifndef TEXTJOIN_WORKLOAD_PAPER_QUERIES_H_
+#define TEXTJOIN_WORKLOAD_PAPER_QUERIES_H_
+
+#include "common/status.h"
+#include "core/federated_query.h"
+#include "workload/scenario.h"
+
+/// \file
+/// Builders for the paper's experimental queries Q1–Q5 (Sections 2–7) over
+/// synthetic scenarios shaped like the OpenODB–Mercury setup. Each config
+/// exposes exactly the parameters the paper's experiments vary (N, N_1,
+/// s_1, selection selectivity, ...); defaults are tuned so the Table 2
+/// method rankings reproduce.
+
+namespace textjoin {
+
+/// A generated scenario plus the query to run over it.
+struct PaperScenario {
+  Scenario scenario;
+  FederatedQuery query;
+};
+
+/// Q1: SELECT * with a highly selective text selection ('belief update' in
+/// title) and one author join — the regime where RTP wins.
+struct Q1Config {
+  size_t num_students = 1000;
+  size_t distinct_names = 900;    ///< N_1.
+  double name_selectivity = 0.2;  ///< s_1: names that are authors at all.
+  double name_fanout = 0.3;       ///< f_1.
+  size_t selection_match_docs = 2;  ///< 'beliefupdate' documents.
+  size_t selection_joint_docs = 2;  ///< ... both written by known authors.
+  size_t num_documents = 20000;   ///< D.
+  uint64_t seed = 101;
+};
+Result<PaperScenario> BuildQ1(const Q1Config& config);
+
+/// Q2: docid-only semi-join output, unselective text selection — the
+/// regime where the OR-batched semi-join wins.
+struct Q2Config {
+  size_t num_students = 200;
+  size_t distinct_names = 150;
+  double name_selectivity = 0.4;
+  double name_fanout = 0.8;
+  size_t selection_match_docs = 25;  ///< 'text' in title is common.
+  size_t selection_joint_docs = 10;  ///< ... several by known authors, so
+                                     ///< the semi-join answer is non-empty.
+  size_t num_documents = 20000;
+  size_t max_search_terms = 70;  ///< M (swept by the SJ ablation).
+  uint64_t seed = 102;
+};
+Result<PaperScenario> BuildQ2(const Q2Config& config);
+
+/// Q3: two correlated join predicates (project name in title, member in
+/// author), no text selection — the regime where P+TS wins. s_1 defaults
+/// to the paper's 0.16.
+struct Q3Config {
+  size_t num_projects = 300;   ///< Relation size before the sponsor filter.
+  size_t sponsors = 3;         ///< Sponsor filter keeps ~1/3 (N = 100).
+  size_t distinct_names = 20;  ///< N_1 (project names).
+  double name_selectivity = 0.16;  ///< s_1 (swept by Figure 1A).
+  double name_fanout = 0.6;        ///< f_1.
+  size_t distinct_members = 150;   ///< N_2.
+  double member_selectivity = 0.5;
+  double member_fanout = 1.2;
+  double joint_fraction = 0.8;  ///< Combos with a real co-occurring report.
+  double joint_docs = 5.0;
+  size_t num_documents = 20000;
+  uint64_t seed = 103;
+};
+Result<PaperScenario> BuildQ3(const Q3Config& config);
+
+/// Q4: students co-authoring with their advisors; few distinct advisors —
+/// the regime where P+RTP wins. N_1/N defaults low (swept by Figure 1B).
+struct Q4Config {
+  size_t num_students = 120;  ///< N (the area filter keeps everything:
+                              ///< placements must align with the searched
+                              ///< combos, see BuildQ4).
+  size_t areas = 1;
+  size_t distinct_advisors = 2;  ///< N_1 (swept via ratio N_1/N).
+  /// Advisors appear in documents ONLY through co-authored reports with
+  /// their own students (marginal selectivity 0 + unrestricted joint
+  /// placements), so the documents a probe on the advisor column matches
+  /// are exactly the semi-join's candidates.
+  size_t distinct_names = 150;  ///< N_2.
+  double name_selectivity = 0.3;
+  double name_fanout = 0.4;
+  double joint_fraction = 0.04;  ///< Student–advisor co-authored reports.
+  double joint_docs = 1.0;
+  size_t num_documents = 20000;
+  uint64_t seed = 104;
+};
+Result<PaperScenario> BuildQ4(const Q4Config& config);
+
+/// Q5 (Example 6.1): student ⋈ faculty ⋈ text with a low-selectivity
+/// relational conjunct (different departments) and a selective student
+/// text predicate — the regime where the PrL probe-as-reducer wins.
+struct Q5Config {
+  size_t num_students = 200;
+  size_t num_faculty = 40;
+  size_t departments = 8;
+  size_t distinct_student_names = 200;  ///< N_1.
+  double student_selectivity = 0.05;  ///< Few students write articles.
+  double student_fanout = 0.06;
+  size_t distinct_faculty_names = 40;
+  double faculty_selectivity = 0.9;  ///< Faculty publish a lot.
+  double faculty_fanout = 4.0;
+  double joint_fraction = 0.3;  ///< Student–faculty co-authored docs.
+  double joint_docs = 1.0;
+  size_t selection_match_docs = 400;  ///< The year restriction.
+  size_t num_documents = 20000;
+  uint64_t seed = 105;
+};
+Result<PaperScenario> BuildQ5(const Q5Config& config);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_WORKLOAD_PAPER_QUERIES_H_

@@ -1,0 +1,254 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+
+namespace textjoin {
+
+namespace {
+
+/// Token for value j of predicate p: "p<p>v<j>" — purely alphanumeric so it
+/// tokenizes to itself and never collides with filler ("w<j>") or
+/// user-chosen selection terms.
+std::string PoolToken(size_t pred_index, size_t value_index) {
+  return "p" + std::to_string(pred_index) + "v" + std::to_string(value_index);
+}
+
+}  // namespace
+
+Result<Scenario> BuildScenario(const ScenarioConfig& config) {
+  if (config.num_documents == 0) {
+    return Status::InvalidArgument("scenario needs at least one document");
+  }
+  Rng rng(config.seed);
+
+  // ---- 1. draw the relation contents (pool indices per tuple) ----
+  // rel -> per-tuple, per-local-predicate chosen pool value.
+  std::map<std::string, std::vector<size_t>> rel_pred_indices;  // pred ids
+  std::map<std::string, std::vector<std::vector<size_t>>> rel_choices;
+  for (const RelationSpec& rel : config.relations) {
+    std::vector<size_t>& preds = rel_pred_indices[rel.name];
+    for (size_t p = 0; p < config.predicates.size(); ++p) {
+      if (config.predicates[p].relation == rel.name) preds.push_back(p);
+    }
+    std::vector<std::vector<size_t>>& choices = rel_choices[rel.name];
+    choices.resize(rel.num_tuples);
+    for (size_t t = 0; t < rel.num_tuples; ++t) {
+      for (size_t p : preds) {
+        choices[t].push_back(static_cast<size_t>(rng.Uniform(
+            0,
+            static_cast<int64_t>(config.predicates[p].num_distinct) - 1)));
+      }
+    }
+  }
+
+  // ---- 2. plan the document-side token placement ----
+  std::set<std::string> all_fields;
+  for (const PredicateSpec& pred : config.predicates) {
+    all_fields.insert(pred.field);
+  }
+  for (const SelectionSpec& sel : config.selections) {
+    all_fields.insert(sel.field);
+  }
+  all_fields.insert("body");  // filler field, always present
+  std::map<std::string, std::vector<std::vector<std::string>>> field_values;
+  for (const std::string& field : all_fields) {
+    field_values[field].resize(config.num_documents);
+  }
+
+  // 2a. marginal placements per predicate.
+  std::vector<size_t> matching_count(config.predicates.size(), 0);
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    const PredicateSpec& pred = config.predicates[p];
+    if (pred.num_distinct == 0) {
+      return Status::InvalidArgument("predicate pool must be non-empty");
+    }
+    if (pred.selectivity < 0 || pred.selectivity > 1) {
+      return Status::InvalidArgument("selectivity must be in [0,1]");
+    }
+    const size_t matching = static_cast<size_t>(std::llround(
+        pred.selectivity * static_cast<double>(pred.num_distinct)));
+    matching_count[p] = matching;
+    const double total_slots =
+        pred.fanout * static_cast<double>(pred.num_distinct);
+    if (matching == 0) {
+      if (total_slots > 0.5) {
+        return Status::InvalidArgument(
+            "predicate '" + pred.column +
+            "': fanout > 0 requires selectivity to admit matching values");
+      }
+      continue;
+    }
+    if (static_cast<double>(matching) > total_slots + 0.5) {
+      // Every matching value occupies at least one document, so the
+      // unconditional fanout is necessarily >= the selectivity.
+      return Status::InvalidArgument(
+          "predicate '" + pred.column +
+          "': fanout must be at least the selectivity");
+    }
+    for (size_t j = 0; j < matching; ++j) {
+      const double share_lo = total_slots * static_cast<double>(j) /
+                              static_cast<double>(matching);
+      const double share_hi = total_slots * static_cast<double>(j + 1) /
+                              static_cast<double>(matching);
+      size_t docs_for_value = static_cast<size_t>(std::llround(share_hi) -
+                                                  std::llround(share_lo));
+      docs_for_value = std::max<size_t>(docs_for_value, 1);
+      if (docs_for_value > config.num_documents) {
+        return Status::InvalidArgument(
+            "predicate '" + pred.column +
+            "': fanout target exceeds the corpus size D");
+      }
+      for (size_t doc :
+           rng.SampleIndices(config.num_documents, docs_for_value)) {
+        field_values[pred.field][doc].push_back(PoolToken(p, j));
+      }
+    }
+  }
+
+  // 2b. joint placements (correlated predicates).
+  for (const JointSpec& joint : config.joints) {
+    auto rel_it = rel_choices.find(joint.relation);
+    if (rel_it == rel_choices.end()) {
+      return Status::NotFound("joint placement references unknown relation '" +
+                              joint.relation + "'");
+    }
+    const std::vector<size_t>& local_preds = rel_pred_indices[joint.relation];
+    // Map predicate id -> position within the relation's choice vector.
+    std::vector<size_t> positions;
+    for (size_t p : joint.predicate_indices) {
+      auto pos = std::find(local_preds.begin(), local_preds.end(), p);
+      if (pos == local_preds.end()) {
+        return Status::InvalidArgument(
+            "joint placement predicate is not on relation '" +
+            joint.relation + "'");
+      }
+      positions.push_back(static_cast<size_t>(pos - local_preds.begin()));
+    }
+    // Collect the distinct eligible combos actually present in the
+    // relation. With restrict_to_matching, a combo is eligible only when
+    // each component value is already in its predicate's matching set, so
+    // the marginal selectivities stay at their targets.
+    std::set<std::vector<size_t>> combos;
+    for (const std::vector<size_t>& choice : rel_it->second) {
+      std::vector<size_t> combo;
+      bool eligible = true;
+      for (size_t i = 0; i < positions.size(); ++i) {
+        const size_t value = choice[positions[i]];
+        if (joint.restrict_to_matching &&
+            value >= matching_count[joint.predicate_indices[i]]) {
+          eligible = false;
+          break;
+        }
+        combo.push_back(value);
+      }
+      if (eligible) combos.insert(std::move(combo));
+    }
+    std::vector<std::vector<size_t>> combo_list(combos.begin(), combos.end());
+    rng.Shuffle(combo_list);
+    const size_t planted = static_cast<size_t>(std::llround(
+        joint.combo_match_fraction * static_cast<double>(combo_list.size())));
+    for (size_t c = 0; c < std::min(planted, combo_list.size()); ++c) {
+      const size_t docs = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(joint.docs_per_combo)));
+      for (size_t doc : rng.SampleIndices(config.num_documents, docs)) {
+        for (size_t i = 0; i < joint.predicate_indices.size(); ++i) {
+          const size_t p = joint.predicate_indices[i];
+          field_values[config.predicates[p].field][doc].push_back(
+              PoolToken(p, combo_list[c][i]));
+        }
+      }
+    }
+  }
+
+  // 2c. selections (optionally co-planted with a join predicate's tokens).
+  for (const SelectionSpec& sel : config.selections) {
+    if (sel.match_docs > config.num_documents) {
+      return Status::InvalidArgument("selection '" + sel.term +
+                                     "' wants more matches than documents");
+    }
+    const std::vector<size_t> docs =
+        rng.SampleIndices(config.num_documents, sel.match_docs);
+    for (size_t doc : docs) {
+      field_values[sel.field][doc].push_back(sel.term);
+    }
+    if (sel.joint_with_predicate != SIZE_MAX) {
+      const size_t p = sel.joint_with_predicate;
+      if (p >= config.predicates.size()) {
+        return Status::OutOfRange("selection joint predicate out of range");
+      }
+      if (matching_count[p] == 0) {
+        return Status::InvalidArgument(
+            "selection joint predicate has no matching values");
+      }
+      const size_t planted = std::min(sel.joint_docs, docs.size());
+      for (size_t i = 0; i < planted; ++i) {
+        const size_t value = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(matching_count[p]) - 1));
+        field_values[config.predicates[p].field][docs[i]].push_back(
+            PoolToken(p, value));
+      }
+    }
+  }
+
+  // ---- 3. build the corpus ----
+  Scenario scenario;
+  scenario.engine = std::make_unique<TextEngine>(config.max_search_terms);
+  scenario.text.alias = config.text_alias;
+  scenario.text.fields.assign(all_fields.begin(), all_fields.end());
+
+  ZipfGenerator filler(std::max<size_t>(1, config.filler_vocabulary),
+                       config.filler_zipf_theta);
+  for (size_t d = 0; d < config.num_documents; ++d) {
+    Document doc;
+    doc.docid = "doc" + std::to_string(d);
+    for (const std::string& field : all_fields) {
+      const std::vector<std::string>& planted = field_values[field][d];
+      if (!planted.empty()) doc.fields[field] = planted;
+    }
+    std::string body;
+    for (size_t w = 0; w < config.filler_words_per_doc; ++w) {
+      if (w != 0) body += " ";
+      body += "w" + std::to_string(filler.Next(rng));
+    }
+    doc.fields["body"].push_back(body);
+    Result<DocNum> added = scenario.engine->AddDocument(std::move(doc));
+    if (!added.ok()) return added.status();
+  }
+
+  // ---- 4. build the relations ----
+  scenario.catalog = std::make_unique<Catalog>();
+  for (const RelationSpec& rel : config.relations) {
+    const std::vector<size_t>& preds = rel_pred_indices[rel.name];
+    Schema schema;
+    for (size_t p : preds) {
+      schema.AddColumn(
+          Column{rel.name, config.predicates[p].column, ValueType::kString});
+    }
+    for (const ExtraColumnSpec& extra : rel.extra_columns) {
+      schema.AddColumn(Column{rel.name, extra.name, ValueType::kString});
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        Table * table, scenario.catalog->CreateTable(rel.name, schema));
+    const std::vector<std::vector<size_t>>& choices = rel_choices[rel.name];
+    for (size_t t = 0; t < rel.num_tuples; ++t) {
+      Row row;
+      for (size_t i = 0; i < preds.size(); ++i) {
+        row.push_back(Value::Str(PoolToken(preds[i], choices[t][i])));
+      }
+      for (const ExtraColumnSpec& extra : rel.extra_columns) {
+        const size_t j = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(extra.num_distinct) - 1));
+        row.push_back(Value::Str(extra.name + "_v" + std::to_string(j)));
+      }
+      TEXTJOIN_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+  }
+  return scenario;
+}
+
+}  // namespace textjoin

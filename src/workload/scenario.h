@@ -1,0 +1,119 @@
+#ifndef TEXTJOIN_WORKLOAD_SCENARIO_H_
+#define TEXTJOIN_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/federated_query.h"
+#include "relational/catalog.h"
+#include "text/engine.h"
+
+/// \file
+/// Synthetic workload generation with *controllable statistics*. The
+/// paper's experiments vary exactly the parameters of its cost model — N
+/// (relation size), N_i (distinct join-column values), s_i (predicate
+/// selectivity), f_i (predicate fanout), D (corpus size), M (term limit) —
+/// so the generator takes those as targets and constructs a corpus +
+/// relations that realize them:
+///
+///  - each text join predicate gets a private token pool of N_i synthetic
+///    tokens; round(s_i * N_i) of them are planted into documents, sized so
+///    the unconditional mean fanout is f_i;
+///  - relation columns draw uniformly from the pool, so the relation's
+///    distinct count approaches N_i and the sampled statistics converge to
+///    the targets;
+///  - text selections plant a given term into a chosen number of documents;
+///  - documents are padded with Zipf-distributed filler vocabulary so
+///    inverted lists have realistic shape.
+
+namespace textjoin {
+
+/// An extra (non-text-join) relation column, e.g. `area` or `advisor` used
+/// by relational selections. Values are "<name>_v<j % num_distinct>".
+struct ExtraColumnSpec {
+  std::string name;
+  size_t num_distinct = 10;
+};
+
+/// One relation to generate.
+struct RelationSpec {
+  std::string name;
+  size_t num_tuples = 100;  ///< N.
+  std::vector<ExtraColumnSpec> extra_columns;
+};
+
+/// One text join predicate, with its target statistics. The generator adds
+/// the column to the relation and plants the pool into the corpus field.
+struct PredicateSpec {
+  std::string relation;   ///< Which relation carries the column.
+  std::string column;     ///< Column name (unqualified).
+  std::string field;      ///< Document field.
+  size_t num_distinct = 20;   ///< N_i: size of the token pool.
+  double selectivity = 0.5;   ///< s_i: fraction of pool values that occur.
+  double fanout = 1.0;        ///< f_i: unconditional mean docs per value.
+};
+
+/// One text selection: `term` planted into `match_docs` documents' `field`.
+/// Optionally, `joint_docs` of those documents also receive a *matching*
+/// token of predicate `joint_with_predicate` (so selection and join
+/// predicates co-occur — the Q1 regime where the selective selection's
+/// documents really are written by known authors).
+struct SelectionSpec {
+  std::string term;
+  std::string field;
+  size_t match_docs = 1;
+  size_t joint_with_predicate = SIZE_MAX;  ///< Predicate index, or SIZE_MAX.
+  size_t joint_docs = 0;                   ///< How many docs co-planted.
+};
+
+/// Correlated placement across several predicates of one relation (the
+/// regime of the paper's Q3/Q4, where e.g. a project's name and its
+/// members genuinely co-occur in the same reports). A fraction of the
+/// relation's *distinct value combinations* is planted jointly: all the
+/// listed columns' tokens go into the same documents. Joint placements add
+/// to the marginal statistics, so benches measure the realized s_i/f_i
+/// exactly afterwards (ComputeExactStats) rather than trusting the targets.
+struct JointSpec {
+  std::string relation;
+  std::vector<size_t> predicate_indices;  ///< Into ScenarioConfig::predicates.
+  double combo_match_fraction = 0.1;  ///< Fraction of eligible combos planted.
+  double docs_per_combo = 1.0;        ///< Documents per planted combo.
+  /// When true (default), only combos whose every component value is in its
+  /// predicate's marginally-matching set are eligible, so joint placements
+  /// never perturb the marginal selectivities s_i. Set false to create
+  /// predicates that match *only* through co-occurrence (the Q4 advisor
+  /// regime: pair it with a zero marginal selectivity).
+  bool restrict_to_matching = true;
+};
+
+/// Full scenario description.
+struct ScenarioConfig {
+  std::vector<RelationSpec> relations;
+  std::vector<PredicateSpec> predicates;
+  std::vector<SelectionSpec> selections;
+  std::vector<JointSpec> joints;
+  size_t num_documents = 10000;  ///< D.
+  size_t max_search_terms = 70;  ///< M.
+  std::string text_alias = "corpus";
+  size_t filler_words_per_doc = 6;
+  size_t filler_vocabulary = 2000;
+  double filler_zipf_theta = 1.0;
+  uint64_t seed = 42;
+};
+
+/// A generated scenario: database + text server, ready to query.
+struct Scenario {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<TextEngine> engine;
+  TextRelationDecl text;  ///< Alias + all generated fields.
+};
+
+/// Generates the scenario. Fails with InvalidArgument on inconsistent
+/// targets (e.g. fanout requiring more documents than D).
+Result<Scenario> BuildScenario(const ScenarioConfig& config);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_WORKLOAD_SCENARIO_H_

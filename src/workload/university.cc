@@ -1,0 +1,174 @@
+#include "workload/university.h"
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace textjoin {
+namespace {
+
+/// Deterministic pronounceable name from an index ("Banora", "Cidoke", ...).
+std::string SyntheticName(size_t index) {
+  static const char* const kOnsets[] = {"b", "c", "d", "g", "h", "k",
+                                        "l", "m", "n", "r", "s", "t"};
+  static const char* const kVowels[] = {"a", "e", "i", "o", "u"};
+  std::string name;
+  size_t x = index + 1;
+  for (int syllable = 0; syllable < 3; ++syllable) {
+    name += kOnsets[x % 12];
+    x /= 12;
+    name += kVowels[x % 5];
+    x /= 5;
+  }
+  name[0] = static_cast<char>(name[0] - 'a' + 'A');
+  return name;
+}
+
+const char* const kAreas[] = {"databases", "distributed systems",
+                              "information retrieval", "ai",
+                              "operating systems", "graphics"};
+const char* const kSponsors[] = {"NSF", "DARPA", "ONR"};
+const char* const kTopics[] = {
+    "query optimization", "text retrieval",  "belief update",
+    "concurrency control", "caching", "replication",
+    "information filtering", "semantic indexing"};
+
+}  // namespace
+
+Result<UniversityWorkload> BuildUniversity(const UniversityConfig& config) {
+  Rng rng(config.seed);
+  UniversityWorkload out;
+  out.catalog = std::make_unique<Catalog>();
+  out.engine = std::make_unique<TextEngine>();
+  out.text.alias = "mercury";
+  out.text.fields = {"title", "author", "year"};
+
+  // Faculty first (students reference advisors).
+  std::vector<std::string> faculty_names;
+  for (size_t i = 0; i < config.num_faculty; ++i) {
+    faculty_names.push_back(SyntheticName(1000 + i));
+  }
+  {
+    Schema schema;
+    schema.AddColumn(Column{"faculty", "name", ValueType::kString});
+    schema.AddColumn(Column{"faculty", "dept", ValueType::kString});
+    TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                              out.catalog->CreateTable("faculty", schema));
+    for (size_t i = 0; i < config.num_faculty; ++i) {
+      TEXTJOIN_RETURN_IF_ERROR(table->Insert(
+          {Value::Str(faculty_names[i]),
+           Value::Str(kAreas[rng.Uniform(0, 5)])}));
+    }
+  }
+
+  std::vector<std::string> student_names;
+  std::vector<std::string> student_advisors;
+  {
+    Schema schema;
+    schema.AddColumn(Column{"student", "name", ValueType::kString});
+    schema.AddColumn(Column{"student", "area", ValueType::kString});
+    schema.AddColumn(Column{"student", "advisor", ValueType::kString});
+    schema.AddColumn(Column{"student", "year", ValueType::kInt64});
+    TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                              out.catalog->CreateTable("student", schema));
+    for (size_t i = 0; i < config.num_students; ++i) {
+      student_names.push_back(SyntheticName(i));
+      student_advisors.push_back(
+          faculty_names[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(config.num_faculty) - 1))]);
+      TEXTJOIN_RETURN_IF_ERROR(table->Insert(
+          {Value::Str(student_names.back()),
+           Value::Str(kAreas[rng.Uniform(0, 5)]),
+           Value::Str(student_advisors.back()),
+           Value::Int(rng.Uniform(1, 6))}));
+    }
+  }
+
+  std::vector<std::string> project_names;
+  std::vector<std::string> project_members;
+  {
+    Schema schema;
+    schema.AddColumn(Column{"project", "name", ValueType::kString});
+    schema.AddColumn(Column{"project", "sponsor", ValueType::kString});
+    schema.AddColumn(Column{"project", "member", ValueType::kString});
+    TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
+                              out.catalog->CreateTable("project", schema));
+    for (size_t i = 0; i < config.num_projects; ++i) {
+      // Two-word project code names ("Vesta Kilo" style).
+      const std::string name =
+          SyntheticName(2000 + i) + " " + SyntheticName(3000 + i);
+      const char* sponsor = kSponsors[rng.Uniform(0, 2)];
+      // 2-4 members per project, drawn from students.
+      const int64_t members = rng.Uniform(2, 4);
+      for (int64_t m = 0; m < members; ++m) {
+        const std::string& member =
+            student_names[static_cast<size_t>(rng.Uniform(
+                0, static_cast<int64_t>(config.num_students) - 1))];
+        project_names.push_back(name);
+        project_members.push_back(member);
+        TEXTJOIN_RETURN_IF_ERROR(table->Insert(
+            {Value::Str(name), Value::Str(sponsor), Value::Str(member)}));
+      }
+    }
+  }
+
+  // Technical reports. A fraction are authored by students (often with
+  // their advisor), some mention a project in the title, the rest are
+  // faculty-only filler.
+  size_t doc_counter = 0;
+  auto add_doc = [&](std::string title, std::vector<std::string> authors,
+                     int64_t year) -> Status {
+    Document doc;
+    doc.docid = "TR-" + std::to_string(1990) + "-" +
+                std::to_string(doc_counter++);
+    doc.fields["title"] = {std::move(title)};
+    doc.fields["author"] = std::move(authors);
+    doc.fields["year"] = {std::to_string(year)};
+    Result<DocNum> added = out.engine->AddDocument(std::move(doc));
+    if (!added.ok()) return added.status();
+    return Status::OK();
+  };
+
+  // Student papers (possibly co-authored with the advisor, possibly about
+  // one of the student's projects).
+  for (size_t i = 0; i < config.num_students; ++i) {
+    if (!rng.Bernoulli(config.student_author_rate)) continue;
+    const int64_t reports =
+        std::max<int64_t>(1, rng.Poisson(config.reports_per_student));
+    for (int64_t r = 0; r < reports; ++r) {
+      std::string title = std::string(kTopics[rng.Uniform(0, 7)]) +
+                          " techniques";
+      // Mention a project of this student in ~half the titles.
+      if (rng.Bernoulli(0.5)) {
+        for (size_t p = 0; p < project_members.size(); ++p) {
+          if (project_members[p] == student_names[i]) {
+            title = "The " + project_names[p] + " approach to " +
+                    kTopics[rng.Uniform(0, 7)];
+            break;
+          }
+        }
+      }
+      std::vector<std::string> authors = {student_names[i]};
+      if (rng.Bernoulli(0.6)) authors.push_back(student_advisors[i]);
+      TEXTJOIN_RETURN_IF_ERROR(
+          add_doc(std::move(title), std::move(authors),
+                  rng.Uniform(1990, 1995)));
+    }
+  }
+  // Faculty-only filler up to the target corpus size.
+  while (out.engine->num_documents() < config.num_documents) {
+    std::vector<std::string> authors = {
+        faculty_names[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(config.num_faculty) - 1))]};
+    if (rng.Bernoulli(0.3)) {
+      authors.push_back(faculty_names[static_cast<size_t>(rng.Uniform(
+          0, static_cast<int64_t>(config.num_faculty) - 1))]);
+    }
+    TEXTJOIN_RETURN_IF_ERROR(
+        add_doc(std::string(kTopics[rng.Uniform(0, 7)]) + " revisited",
+                std::move(authors), rng.Uniform(1988, 1995)));
+  }
+  return out;
+}
+
+}  // namespace textjoin

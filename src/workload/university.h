@@ -1,0 +1,46 @@
+#ifndef TEXTJOIN_WORKLOAD_UNIVERSITY_H_
+#define TEXTJOIN_WORKLOAD_UNIVERSITY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/federated_query.h"
+#include "relational/catalog.h"
+#include "text/engine.h"
+
+/// \file
+/// A narrative university workload mirroring the paper's running examples:
+/// student / faculty / project relations plus a CSTR-style technical-report
+/// corpus whose titles mention project names and whose author lists mix
+/// students with their advisors. Used by the runnable examples; the
+/// benches use the statistically controlled generator in scenario.h.
+
+namespace textjoin {
+
+/// Sizing knobs for the generated university.
+struct UniversityConfig {
+  size_t num_students = 120;
+  size_t num_faculty = 25;
+  size_t num_projects = 30;
+  size_t num_documents = 3000;
+  uint64_t seed = 7;
+  /// Probability that a given student ever authors a report.
+  double student_author_rate = 0.4;
+  /// Mean reports per publishing student.
+  double reports_per_student = 1.5;
+};
+
+/// The generated database + text server.
+struct UniversityWorkload {
+  std::unique_ptr<Catalog> catalog;  ///< student, faculty, project tables.
+  std::unique_ptr<TextEngine> engine;
+  TextRelationDecl text;  ///< alias "mercury": title, author, year fields.
+};
+
+/// Generates the workload. Deterministic for a given seed.
+Result<UniversityWorkload> BuildUniversity(const UniversityConfig& config);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_WORKLOAD_UNIVERSITY_H_

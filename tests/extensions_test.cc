@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "connector/cooperative.h"
+#include "core/adaptive.h"
+#include "core/batched_ts.h"
+#include "core/join_methods.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace textjoin {
+namespace {
+
+using textjoin::testing::MakeSmallEngine;
+using textjoin::testing::MakeStudentTable;
+using textjoin::testing::MercuryDecl;
+using textjoin::testing::PairSet;
+
+class CooperativeTest : public ::testing::Test {
+ protected:
+  CooperativeTest()
+      : engine_(MakeSmallEngine()),
+        source_(engine_.get(), /*max_batch=*/4),
+        table_(MakeStudentTable()) {}
+
+  std::unique_ptr<TextEngine> engine_;
+  CooperativeTextSource source_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(CooperativeTest, SearchBatchChargesOneInvocation) {
+  auto q1 = ParseTextQuery("title='belief'");
+  auto q2 = ParseTextQuery("author='gravano'");
+  std::vector<const TextQuery*> batch = {q1->get(), q2->get()};
+  auto answers = source_.SearchBatch(batch);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 2u);
+  EXPECT_EQ((*answers)[0], (std::vector<std::string>{"d1", "d4"}));
+  EXPECT_EQ((*answers)[1], (std::vector<std::string>{"d2", "d3"}));
+  EXPECT_EQ(source_.meter().invocations, 1u);  // ONE connection
+  EXPECT_EQ(source_.meter().short_docs, 4u);
+}
+
+TEST_F(CooperativeTest, SearchBatchPreservesCorrespondenceWithEmptyAnswers) {
+  auto q1 = ParseTextQuery("title='zzznothing'");
+  auto q2 = ParseTextQuery("title='belief'");
+  std::vector<const TextQuery*> batch = {q1->get(), q2->get()};
+  auto answers = source_.SearchBatch(batch);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE((*answers)[0].empty());
+  EXPECT_FALSE((*answers)[1].empty());
+}
+
+TEST_F(CooperativeTest, SearchBatchEnforcesLimit) {
+  auto q = ParseTextQuery("title='belief'");
+  std::vector<const TextQuery*> batch(5, q->get());  // limit is 4
+  EXPECT_EQ(source_.SearchBatch(batch).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(source_.SearchBatch({}).ok());
+}
+
+TEST_F(CooperativeTest, LookupFrequenciesIsCheapAndExact) {
+  auto freqs = source_.LookupFrequencies(
+      "author", {"gravano", "kao", "nobody", "smith"});
+  ASSERT_TRUE(freqs.ok());
+  EXPECT_EQ(*freqs, (std::vector<size_t>{2, 2, 0, 2}));
+  EXPECT_EQ(source_.meter().invocations, 1u);
+  EXPECT_EQ(source_.meter().postings_processed, 0u);  // dictionary only
+}
+
+TEST_F(CooperativeTest, FieldStatistics) {
+  auto stats = source_.GetFieldStatistics("author");
+  ASSERT_TRUE(stats.ok());
+  // Authors: Radhika, Smith, Gravano, Kao, Garcia, Yan = 6 distinct.
+  EXPECT_EQ(stats->vocabulary_size, 6u);
+  EXPECT_GT(stats->mean_fanout, 1.0);
+}
+
+TEST_F(CooperativeTest, CooperativeStatsMatchSampling) {
+  // Cooperative estimation must equal exhaustive-sample estimation for
+  // single-word column values, at a fraction of the invocations.
+  auto coop = EstimatePredicateStatsCooperative(*table_, 0, source_,
+                                                "author");
+  ASSERT_TRUE(coop.ok());
+  EXPECT_DOUBLE_EQ(coop->selectivity, 1.0);
+  EXPECT_DOUBLE_EQ(coop->fanout, 8.0 / 5.0);
+  // 5 distinct names, batch 4 => 2 invocations (vs 5 for probing).
+  EXPECT_EQ(source_.meter().invocations, 2u);
+}
+
+class BatchedTSTest : public ::testing::Test {
+ protected:
+  BatchedTSTest()
+      : engine_(MakeSmallEngine()),
+        source_(engine_.get(), /*max_batch=*/3),
+        table_(MakeStudentTable()) {}
+
+  ForeignJoinSpec BeliefSpec() const {
+    ForeignJoinSpec spec;
+    spec.left_schema = table_->schema();
+    spec.text = MercuryDecl();
+    spec.selections = {{"belief", "title"}};
+    spec.joins = {{"student.name", "author"}};
+    return spec;
+  }
+
+  std::unique_ptr<TextEngine> engine_;
+  CooperativeTextSource source_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(BatchedTSTest, SameResultFewerInvocations) {
+  auto batched = ExecuteTupleSubstitutionBatched(BeliefSpec(),
+                                                 table_->rows(), source_);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const uint64_t batched_inv = source_.meter().invocations;
+
+  RemoteTextSource plain(engine_.get());
+  auto ts = ExecuteForeignJoin(JoinMethodKind::kTS, BeliefSpec(),
+                               table_->rows(), plain);
+  ASSERT_TRUE(ts.ok());
+
+  const size_t width = table_->schema().num_columns();
+  EXPECT_EQ(PairSet(*batched, width), PairSet(*ts, width));
+  // 5 distinct names, batch 3 => 2 invocations vs 5.
+  EXPECT_EQ(batched_inv, 2u);
+  EXPECT_EQ(plain.meter().invocations, 5u);
+  // Identical long-form retrievals (same matched documents).
+  EXPECT_EQ(source_.meter().long_docs, plain.meter().long_docs);
+}
+
+TEST_F(BatchedTSTest, CostFormula) {
+  ForeignJoinStats stats;
+  stats.num_tuples = 100;
+  stats.num_documents = 10000;
+  stats.predicates = {{0.5, 1.0, 100}};
+  CostParams params;
+  params.per_posting = 0;
+  params.short_form = 0;
+  params.long_form = 0;
+  params.relational_match = 0;
+  CostModel model(params, stats);
+  EXPECT_DOUBLE_EQ(model.CostTS(), 100 * 3.0);
+  EXPECT_DOUBLE_EQ(CostTSBatched(model, 10), 10 * 3.0);
+  EXPECT_DOUBLE_EQ(CostTSBatched(model, 1), model.CostTS());
+}
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest() {
+    ScenarioConfig config;
+    config.relations = {{"r", 60, {}}};
+    config.predicates = {
+        {"r", "a", "title", 10, 0.5, 8.0},  // fat probe column
+        {"r", "b", "author", 30, 0.5, 1.0},
+    };
+    config.num_documents = 500;
+    config.seed = 77;
+    auto built = BuildScenario(config);
+    TEXTJOIN_CHECK(built.ok(), "%s", built.status().ToString().c_str());
+    scenario_ = std::move(*built);
+    table_ = *scenario_.catalog->GetTable("r");
+  }
+
+  ForeignJoinSpec Spec() const {
+    ForeignJoinSpec spec;
+    spec.left_schema = table_->schema();
+    spec.text = scenario_.text;
+    spec.joins = {{"r.a", "title"}, {"r.b", "author"}};
+    return spec;
+  }
+
+  Scenario scenario_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(AdaptiveTest, WithinBudgetBehavesAsPRTP) {
+  RemoteTextSource source(scenario_.engine.get());
+  auto adaptive = ExecuteProbeRTPAdaptive(Spec(), table_->rows(), source,
+                                          0b01, /*fetch_budget=*/100000);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  EXPECT_EQ(adaptive->outcome, AdaptiveOutcome::kFetched);
+
+  RemoteTextSource source2(scenario_.engine.get());
+  auto prtp = ExecuteForeignJoin(JoinMethodKind::kPRTP, Spec(),
+                                 table_->rows(), source2, 0b01);
+  ASSERT_TRUE(prtp.ok());
+  const size_t width = table_->schema().num_columns();
+  EXPECT_EQ(PairSet(adaptive->join, width), PairSet(*prtp, width));
+  // Same access pattern.
+  EXPECT_EQ(source.meter().long_docs, source2.meter().long_docs);
+}
+
+TEST_F(AdaptiveTest, OverBudgetSwitchesToTSWithSameAnswer) {
+  RemoteTextSource source(scenario_.engine.get());
+  auto adaptive = ExecuteProbeRTPAdaptive(Spec(), table_->rows(), source,
+                                          0b01, /*fetch_budget=*/2);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(adaptive->outcome, AdaptiveOutcome::kSwitched);
+  EXPECT_GT(adaptive->candidate_docs, 2u);
+
+  RemoteTextSource source2(scenario_.engine.get());
+  auto prtp = ExecuteForeignJoin(JoinMethodKind::kPRTP, Spec(),
+                                 table_->rows(), source2, 0b01);
+  ASSERT_TRUE(prtp.ok());
+  const size_t width = table_->schema().num_columns();
+  EXPECT_EQ(PairSet(adaptive->join, width), PairSet(*prtp, width));
+  // The switch avoided the oversized fetch: strictly fewer long forms than
+  // the naive P+RTP run.
+  EXPECT_LT(source.meter().long_docs, source2.meter().long_docs);
+}
+
+TEST_F(AdaptiveTest, BudgetZeroAlwaysSwitches) {
+  RemoteTextSource source(scenario_.engine.get());
+  auto adaptive = ExecuteProbeRTPAdaptive(Spec(), table_->rows(), source,
+                                          0b10, 0);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(adaptive->outcome, AdaptiveOutcome::kSwitched);
+}
+
+TEST_F(AdaptiveTest, InvalidMaskRejected) {
+  RemoteTextSource source(scenario_.engine.get());
+  EXPECT_FALSE(
+      ExecuteProbeRTPAdaptive(Spec(), table_->rows(), source, 0, 10).ok());
+}
+
+}  // namespace
+}  // namespace textjoin

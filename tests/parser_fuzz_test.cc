@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "text/query.h"
+
+/// \file
+/// Crash-safety fuzzing for both parsers: arbitrary byte soup and
+/// mutated-valid inputs must either parse or return an error Status —
+/// never crash, hang, or return success for garbage.
+
+namespace textjoin {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  const size_t len = static_cast<size_t>(rng.Uniform(0, max_len));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Mostly printable, some control characters.
+    if (rng.Bernoulli(0.9)) {
+      s.push_back(static_cast<char>(rng.Uniform(32, 126)));
+    } else {
+      s.push_back(static_cast<char>(rng.Uniform(1, 255)));
+    }
+  }
+  return s;
+}
+
+std::string MutateValid(Rng& rng, const std::string& base) {
+  std::string s = base;
+  const int mutations = static_cast<int>(rng.Uniform(1, 5));
+  for (int m = 0; m < mutations; ++m) {
+    if (s.empty()) break;
+    const size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(s.size()) - 1));
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        s[pos] = static_cast<char>(rng.Uniform(32, 126));
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(rng.Uniform(32, 126)));
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(ParserFuzzTest, SqlParserNeverCrashesOnGarbage) {
+  Rng rng(2024);
+  const TextRelationDecl decl = textjoin::testing::MercuryDecl();
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = RandomBytes(rng, 120);
+    auto result = ParseQuery(input, decl);  // ok or error, never UB
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, SqlParserSurvivesMutationsOfValidQueries) {
+  Rng rng(77);
+  const TextRelationDecl decl = textjoin::testing::MercuryDecl();
+  const std::string base =
+      "select distinct student.name, count(*) from student, mercury "
+      "where student.year > 3 and 'belief update' in mercury.title "
+      "and student.name in mercury.author "
+      "group by student.name order by student.name limit 10";
+  ASSERT_TRUE(ParseQuery(base, decl).ok());
+  for (int i = 0; i < 3000; ++i) {
+    auto result = ParseQuery(MutateValid(rng, base), decl);
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, TextQueryParserNeverCrashes) {
+  Rng rng(31337);
+  for (int i = 0; i < 3000; ++i) {
+    auto result = ParseTextQuery(RandomBytes(rng, 80));
+    (void)result;
+  }
+  const std::string base =
+      "title='belief update' and (author='gravano' or author='kao') and "
+      "not year='1993'";
+  ASSERT_TRUE(ParseTextQuery(base).ok());
+  for (int i = 0; i < 3000; ++i) {
+    auto result = ParseTextQuery(MutateValid(rng, base));
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, ParsedGarbageThatSucceedsRoundtrips) {
+  // Anything the SQL parser accepts must render and re-parse to the same
+  // canonical text (a stronger property than crash-safety).
+  Rng rng(555);
+  const TextRelationDecl decl = textjoin::testing::MercuryDecl();
+  const std::string base =
+      "select student.name from student, mercury "
+      "where student.name in mercury.author";
+  size_t accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string input = MutateValid(rng, base);
+    auto q = ParseQuery(input, decl);
+    if (!q.ok()) continue;
+    ++accepted;
+    auto q2 = ParseQuery(q->ToString(), decl);
+    ASSERT_TRUE(q2.ok()) << input << "\n-> " << q->ToString();
+    EXPECT_EQ(q->ToString(), q2->ToString()) << input;
+  }
+  EXPECT_GT(accepted, 10u);  // mutations do sometimes stay valid
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "common/text_match.h"
+#include "connector/remote_text_source.h"
+#include "connector/cooperative.h"
+#include "connector/sampler.h"
+#include "core/adaptive.h"
+#include "core/batched_ts.h"
+#include "core/enumerator.h"
+#include "core/executor.h"
+#include "core/join_methods.h"
+#include "core/statistics.h"
+#include "workload/scenario.h"
+
+namespace textjoin {
+namespace {
+
+/// Builds a random-but-valid scenario configuration from a seed.
+ScenarioConfig RandomConfig(uint64_t seed) {
+  Rng rng(seed);
+  ScenarioConfig config;
+  config.seed = seed * 7919 + 13;
+  config.num_documents = static_cast<size_t>(rng.Uniform(50, 600));
+  config.relations = {{"r", static_cast<size_t>(rng.Uniform(5, 120)), {}}};
+  const int num_preds = static_cast<int>(rng.Uniform(1, 3));
+  const char* fields[] = {"title", "author"};
+  for (int p = 0; p < num_preds; ++p) {
+    const size_t num_distinct = static_cast<size_t>(rng.Uniform(1, 30));
+    double s = rng.NextDouble();
+    const auto matching = static_cast<size_t>(
+        std::llround(s * static_cast<double>(num_distinct)));
+    double f = 0.0;
+    if (matching == 0) {
+      s = 0.0;  // no matching values => fanout must be zero
+    } else {
+      // fanout >= selectivity, and per-value doc count bounded by D/2.
+      const double f_max = static_cast<double>(matching) *
+                           static_cast<double>(config.num_documents) /
+                           (2.0 * static_cast<double>(num_distinct));
+      f = std::min(s + rng.NextDouble() * 3.0, std::max(s, f_max));
+    }
+    config.predicates.push_back({"r", "c" + std::to_string(p), fields[p % 2],
+                                 num_distinct, s, f});
+  }
+  if (rng.Bernoulli(0.6)) {
+    config.selections.push_back(
+        {"seltermx", "title",
+         static_cast<size_t>(
+             rng.Uniform(0, static_cast<int64_t>(config.num_documents) / 4))});
+  }
+  if (num_preds == 2 && rng.Bernoulli(0.5)) {
+    config.joints.push_back({"r", {0, 1}, rng.NextDouble() * 0.5, 1.0});
+  }
+  config.filler_vocabulary = 100;
+  return config;
+}
+
+/// The canonical pair set of a foreign-join result (outer row rendered,
+/// docid) — robust to which columns a method populates.
+std::set<std::pair<std::string, std::string>> Pairs(
+    const ForeignJoinResult& result, size_t left_width) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const Row& row : result.rows) {
+    Row left(row.begin(), row.begin() + static_cast<ptrdiff_t>(left_width));
+    out.emplace(RowToString(left), row.at(left_width).AsString());
+  }
+  return out;
+}
+
+/// Reference pair set computed by brute force over the corpus.
+std::set<std::pair<std::string, std::string>> ReferencePairs(
+    const ForeignJoinSpec& spec, const std::vector<Row>& rows,
+    const TextEngine& engine) {
+  std::set<std::pair<std::string, std::string>> out;
+  std::vector<size_t> join_cols;
+  for (const TextJoinPredicate& pred : spec.joins) {
+    auto idx = spec.left_schema.Resolve(pred.column_ref);
+    TEXTJOIN_CHECK(idx.ok(), "resolve");
+    join_cols.push_back(*idx);
+  }
+  for (const Document& doc : engine.documents()) {
+    bool sel_ok = true;
+    for (const TextSelection& sel : spec.selections) {
+      if (!TermMatchesFieldText(
+              sel.term, JoinFieldValues(doc.FieldValues(sel.field)))) {
+        sel_ok = false;
+        break;
+      }
+    }
+    if (!sel_ok) continue;
+    for (const Row& row : rows) {
+      bool ok = true;
+      for (size_t p = 0; p < spec.joins.size(); ++p) {
+        const Value& v = row.at(join_cols[p]);
+        if (v.type() != ValueType::kString ||
+            !TermMatchesFieldText(
+                v.AsString(),
+                JoinFieldValues(doc.FieldValues(spec.joins[p].field)))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.emplace(RowToString(row), doc.docid);
+    }
+  }
+  return out;
+}
+
+/// PROPERTY: every join method produces exactly the reference (tuple,
+/// docid) pairs, on randomized corpora/relations/predicates — the paper's
+/// methods are semantically interchangeable, differing only in cost.
+class MethodEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MethodEquivalenceTest, AllMethodsMatchBruteForce) {
+  const ScenarioConfig config = RandomConfig(GetParam());
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  RemoteTextSource source(scenario->engine.get());
+  Table* table = *scenario->catalog->GetTable("r");
+
+  ForeignJoinSpec spec;
+  spec.left_schema = table->schema();
+  spec.text = scenario->text;
+  for (const SelectionSpec& sel : config.selections) {
+    spec.selections.push_back({sel.term, sel.field});
+  }
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    spec.joins.push_back({"r." + config.predicates[p].column,
+                          config.predicates[p].field});
+  }
+
+  const auto expected = ReferencePairs(spec, table->rows(), *scenario->engine);
+  const size_t left_width = table->schema().num_columns();
+  const PredicateMask all = FullMask(spec.joins.size());
+
+  // TS always applies.
+  {
+    auto result =
+        ExecuteForeignJoin(JoinMethodKind::kTS, spec, table->rows(), source);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(Pairs(*result, left_width), expected) << "TS seed "
+                                                    << GetParam();
+  }
+  // RTP requires selections.
+  if (!spec.selections.empty()) {
+    auto result =
+        ExecuteForeignJoin(JoinMethodKind::kRTP, spec, table->rows(), source);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Pairs(*result, left_width), expected) << "RTP seed "
+                                                    << GetParam();
+  }
+  // SJ+RTP requires join predicates (always true here).
+  {
+    auto result = ExecuteForeignJoin(JoinMethodKind::kSJRTP, spec,
+                                     table->rows(), source);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Pairs(*result, left_width), expected) << "SJ+RTP seed "
+                                                    << GetParam();
+  }
+  // Probing methods: try every probe mask.
+  for (PredicateMask mask = 1; mask <= all; ++mask) {
+    auto pts = ExecuteForeignJoin(JoinMethodKind::kPTS, spec, table->rows(),
+                                  source, mask);
+    ASSERT_TRUE(pts.ok());
+    EXPECT_EQ(Pairs(*pts, left_width), expected)
+        << "P+TS mask " << MaskToString(mask) << " seed " << GetParam();
+    auto prtp = ExecuteForeignJoin(JoinMethodKind::kPRTP, spec, table->rows(),
+                                   source, mask);
+    ASSERT_TRUE(prtp.ok());
+    EXPECT_EQ(Pairs(*prtp, left_width), expected)
+        << "P+RTP mask " << MaskToString(mask) << " seed " << GetParam();
+  }
+  // SJ (doc-side semi-join): distinct docids must match the projection of
+  // the reference pairs.
+  {
+    ForeignJoinSpec sj_spec = spec;
+    sj_spec.left_columns_needed = false;
+    sj_spec.need_document_fields = false;
+    auto result = ExecuteForeignJoin(JoinMethodKind::kSJ, sj_spec,
+                                     table->rows(), source);
+    ASSERT_TRUE(result.ok());
+    std::set<std::string> got;
+    for (const Row& row : result->rows) {
+      got.insert(row.at(left_width).AsString());
+    }
+    std::set<std::string> want;
+    for (const auto& [left, docid] : expected) want.insert(docid);
+    EXPECT_EQ(got, want) << "SJ seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, MethodEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+
+/// PROPERTY: the Section-8 batched TS and the adaptive P+RTP produce
+/// exactly the same pairs as their plain counterparts on randomized
+/// scenarios, for every batch size / budget.
+class ExtensionEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ExtensionEquivalenceTest, BatchedAndAdaptiveMatchPlainMethods) {
+  const ScenarioConfig config = RandomConfig(GetParam() + 4000);
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  Table* table = *scenario->catalog->GetTable("r");
+
+  ForeignJoinSpec spec;
+  spec.left_schema = table->schema();
+  spec.text = scenario->text;
+  for (const SelectionSpec& sel : config.selections) {
+    spec.selections.push_back({sel.term, sel.field});
+  }
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    spec.joins.push_back({"r." + config.predicates[p].column,
+                          config.predicates[p].field});
+  }
+  const size_t left_width = table->schema().num_columns();
+
+  RemoteTextSource plain(scenario->engine.get());
+  auto ts = ExecuteForeignJoin(JoinMethodKind::kTS, spec, table->rows(),
+                               plain);
+  ASSERT_TRUE(ts.ok());
+  const auto expected = Pairs(*ts, left_width);
+
+  for (size_t batch : {1, 3, 17}) {
+    CooperativeTextSource coop(scenario->engine.get(), batch);
+    auto batched =
+        ExecuteTupleSubstitutionBatched(spec, table->rows(), coop);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    EXPECT_EQ(Pairs(*batched, left_width), expected)
+        << "batch " << batch << " seed " << GetParam();
+  }
+  const PredicateMask all = FullMask(spec.joins.size());
+  for (PredicateMask mask = 1; mask <= all; ++mask) {
+    for (size_t budget : {0, 3, 1000000}) {
+      RemoteTextSource source(scenario->engine.get());
+      auto adaptive = ExecuteProbeRTPAdaptive(spec, table->rows(), source,
+                                              mask, budget);
+      ASSERT_TRUE(adaptive.ok());
+      EXPECT_EQ(Pairs(adaptive->join, left_width), expected)
+          << "mask " << MaskToString(mask) << " budget " << budget
+          << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, ExtensionEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+/// PROPERTY: the probe reducer never changes the final answer — it only
+/// removes tuples that cannot join (Section 6: probes as semi-joins are
+/// answer-preserving).
+class ProbeReducerTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProbeReducerTest, ReduceIsAnswerPreserving) {
+  const ScenarioConfig config = RandomConfig(GetParam() + 1000);
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  RemoteTextSource source(scenario->engine.get());
+  Table* table = *scenario->catalog->GetTable("r");
+
+  ForeignJoinSpec spec;
+  spec.left_schema = table->schema();
+  spec.text = scenario->text;
+  for (const SelectionSpec& sel : config.selections) {
+    spec.selections.push_back({sel.term, sel.field});
+  }
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    spec.joins.push_back({"r." + config.predicates[p].column,
+                          config.predicates[p].field});
+  }
+  const size_t left_width = table->schema().num_columns();
+  const PredicateMask all = FullMask(spec.joins.size());
+  for (PredicateMask mask = 1; mask <= all; ++mask) {
+    auto survivors =
+        ProbeSemiJoinReduce(spec, table->rows(), source, mask);
+    ASSERT_TRUE(survivors.ok());
+    EXPECT_LE(survivors->size(), table->num_rows());
+    auto full = ExecuteForeignJoin(JoinMethodKind::kTS, spec, table->rows(),
+                                   source);
+    auto reduced =
+        ExecuteForeignJoin(JoinMethodKind::kTS, spec, *survivors, source);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(reduced.ok());
+    EXPECT_EQ(Pairs(*full, left_width), Pairs(*reduced, left_width))
+        << "mask " << MaskToString(mask) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, ProbeReducerTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+/// PROPERTY: sampled statistics converge to the exact ones as the sample
+/// grows to cover the whole column.
+class SamplerConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SamplerConvergenceTest, FullSampleIsExact) {
+  const ScenarioConfig config = RandomConfig(GetParam() + 2000);
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  RemoteTextSource source(scenario->engine.get());
+  Table* table = *scenario->catalog->GetTable("r");
+
+  FederatedQuery query;
+  query.relations = {{"r", "r"}};
+  query.text = scenario->text;
+  query.has_text_relation = true;
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    query.text_joins.push_back({"r." + config.predicates[p].column,
+                                config.predicates[p].field});
+  }
+  StatsRegistry registry;
+  ASSERT_TRUE(ComputeExactStats(query, *scenario->catalog, *scenario->engine,
+                                registry)
+                  .ok());
+  Rng rng(GetParam());
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    auto exact = registry.GetTextJoinStats(query.text_joins[p].column_ref,
+                                           query.text_joins[p].field);
+    ASSERT_TRUE(exact.ok());
+    auto sampled = EstimatePredicateStats(
+        *table, p, source, query.text_joins[p].field,
+        /*sample_size=*/table->num_rows() + 10, rng);
+    ASSERT_TRUE(sampled.ok());
+    EXPECT_NEAR(sampled->selectivity, exact->selectivity, 1e-9);
+    EXPECT_NEAR(sampled->fanout, exact->fanout, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, SamplerConvergenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+/// PROPERTY: the optimizer-chosen plan for a randomized single-join query
+/// returns the reference answer regardless of which method it picks.
+class OptimizedPlanTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizedPlanTest, ChosenPlanMatchesReference) {
+  const ScenarioConfig config = RandomConfig(GetParam() + 3000);
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  RemoteTextSource source(scenario->engine.get());
+
+  FederatedQuery query;
+  query.relations = {{"r", "r"}};
+  query.text = scenario->text;
+  query.has_text_relation = true;
+  for (const SelectionSpec& sel : config.selections) {
+    query.text_selections.push_back({sel.term, sel.field});
+  }
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    query.text_joins.push_back({"r." + config.predicates[p].column,
+                                config.predicates[p].field});
+  }
+  StatsRegistry registry;
+  ASSERT_TRUE(ComputeExactStats(query, *scenario->catalog, *scenario->engine,
+                                registry)
+                  .ok());
+  Enumerator enumerator(scenario->catalog.get(), &registry,
+                        scenario->engine->num_documents(),
+                        scenario->engine->max_search_terms(),
+                        EnumeratorOptions{});
+  auto plan = enumerator.Optimize(query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  PlanExecutor executor(scenario->catalog.get(), &source);
+  auto result = executor.Execute(**plan, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto reference =
+      ReferenceExecute(query, *scenario->catalog, scenario->engine->documents());
+  ASSERT_TRUE(reference.ok());
+  std::multiset<std::string> got, want;
+  for (const Row& row : result->rows) got.insert(RowToString(row));
+  for (const Row& row : reference->rows) want.insert(RowToString(row));
+  EXPECT_EQ(got, want) << "seed " << GetParam() << "\nplan:\n"
+                       << (*plan)->ToString(query);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, OptimizedPlanTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace textjoin

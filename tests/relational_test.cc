@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/text_match.h"
+#include "relational/catalog.h"
+#include "relational/expression.h"
+#include "relational/operators.h"
+#include "relational/table.h"
+#include "relational/table_stats.h"
+#include "tests/test_util.h"
+
+namespace textjoin {
+namespace {
+
+using textjoin::testing::MakeStudentTable;
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, ResolveQualifiedAndBare) {
+  Schema schema;
+  schema.AddColumn(Column{"s", "name", ValueType::kString});
+  schema.AddColumn(Column{"s", "year", ValueType::kInt64});
+  EXPECT_EQ(*schema.Resolve("name"), 0u);
+  EXPECT_EQ(*schema.Resolve("s.year"), 1u);
+  EXPECT_EQ(*schema.Resolve("S.YEAR"), 1u);  // case-insensitive
+}
+
+TEST(SchemaTest, ResolveErrors) {
+  Schema schema;
+  schema.AddColumn(Column{"a", "x", ValueType::kString});
+  schema.AddColumn(Column{"b", "x", ValueType::kString});
+  EXPECT_EQ(schema.Resolve("y").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(schema.Resolve("x").status().code(),
+            StatusCode::kInvalidArgument);  // ambiguous bare name
+  EXPECT_TRUE(schema.Resolve("a.x").ok());
+}
+
+TEST(SchemaTest, ConcatAndQualify) {
+  Schema a;
+  a.AddColumn(Column{"l", "x", ValueType::kString});
+  Schema b;
+  b.AddColumn(Column{"r", "y", ValueType::kInt64});
+  Schema joined = a.Concat(b);
+  EXPECT_EQ(joined.num_columns(), 2u);
+  EXPECT_EQ(joined.column(1).QualifiedName(), "r.y");
+  Schema renamed = joined.WithQualifier("t");
+  EXPECT_EQ(renamed.column(0).QualifiedName(), "t.x");
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, InsertChecksArityAndTypes) {
+  Schema schema;
+  schema.AddColumn(Column{"t", "a", ValueType::kString});
+  schema.AddColumn(Column{"t", "b", ValueType::kInt64});
+  Table table("t", schema);
+  EXPECT_TRUE(table.Insert({Value::Str("x"), Value::Int(1)}).ok());
+  EXPECT_TRUE(table.Insert({Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(table.Insert({Value::Str("x")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Insert({Value::Int(1), Value::Int(1)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CountDistinct) {
+  auto table = MakeStudentTable();
+  // advisor column (index 2) has 2 distinct values; name has 5.
+  EXPECT_EQ(table->CountDistinct({2}), 2u);
+  EXPECT_EQ(table->CountDistinct({0}), 5u);
+  EXPECT_EQ(table->CountDistinct({0, 2}), 5u);
+}
+
+// --------------------------------------------------------------- Catalog
+
+TEST(CatalogTest, CreateLookupDuplicate) {
+  Catalog catalog;
+  Schema schema;
+  schema.AddColumn(Column{"t", "a", ValueType::kString});
+  ASSERT_TRUE(catalog.CreateTable("t", schema).ok());
+  EXPECT_TRUE(catalog.HasTable("T"));  // case-insensitive
+  EXPECT_TRUE(catalog.GetTable("t").ok());
+  EXPECT_EQ(catalog.CreateTable("T", schema).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"t"});
+}
+
+// ----------------------------------------------------------- Expressions
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest() : table_(MakeStudentTable()) {}
+
+  Value EvalOn(ExprPtr expr, size_t row_index) {
+    const Status st = expr->Bind(table_->schema());
+    TEXTJOIN_CHECK(st.ok(), "%s", st.ToString().c_str());
+    return expr->Eval(table_->row(row_index));
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(ExprTest, ComparisonOnStrings) {
+  // Row 0: Radhika, AI, Garcia, 4.
+  EXPECT_TRUE(ValueIsTrue(
+      EvalOn(Eq(Col("student.area"), Lit(Value::Str("AI"))), 0)));
+  EXPECT_FALSE(ValueIsTrue(
+      EvalOn(Eq(Col("student.area"), Lit(Value::Str("IR"))), 0)));
+}
+
+TEST_F(ExprTest, ComparisonOperators) {
+  EXPECT_TRUE(ValueIsTrue(EvalOn(
+      Cmp(CompareOp::kGt, Col("year"), Lit(Value::Int(3))), 0)));
+  EXPECT_FALSE(ValueIsTrue(EvalOn(
+      Cmp(CompareOp::kGt, Col("year"), Lit(Value::Int(3))), 2)));
+  EXPECT_TRUE(ValueIsTrue(EvalOn(
+      Cmp(CompareOp::kLe, Col("year"), Lit(Value::Int(2))), 2)));
+  EXPECT_TRUE(ValueIsTrue(EvalOn(
+      Cmp(CompareOp::kNe, Col("advisor"), Lit(Value::Str("Garcia"))), 3)));
+}
+
+TEST_F(ExprTest, NullComparisonsAreFalse) {
+  EXPECT_FALSE(ValueIsTrue(EvalOn(
+      Eq(Col("name"), Lit(Value::Null())), 0)));
+  EXPECT_FALSE(ValueIsTrue(EvalOn(
+      Cmp(CompareOp::kNe, Col("name"), Lit(Value::Null())), 0)));
+}
+
+TEST_F(ExprTest, LogicalOps) {
+  std::vector<ExprPtr> both;
+  both.push_back(Eq(Col("area"), Lit(Value::Str("AI"))));
+  both.push_back(Cmp(CompareOp::kGt, Col("year"), Lit(Value::Int(3))));
+  EXPECT_TRUE(ValueIsTrue(EvalOn(And(std::move(both)), 0)));
+
+  std::vector<ExprPtr> either;
+  either.push_back(Eq(Col("area"), Lit(Value::Str("nope"))));
+  either.push_back(Eq(Col("advisor"), Lit(Value::Str("Garcia"))));
+  EXPECT_TRUE(ValueIsTrue(EvalOn(Or(std::move(either)), 0)));
+
+  EXPECT_FALSE(ValueIsTrue(
+      EvalOn(Not(Eq(Col("area"), Lit(Value::Str("AI")))), 0)));
+}
+
+TEST_F(ExprTest, LikeExpression) {
+  EXPECT_TRUE(ValueIsTrue(EvalOn(Like(Col("name"), "Rad%"), 0)));
+  EXPECT_FALSE(ValueIsTrue(EvalOn(Like(Col("name"), "Rad%"), 1)));
+  // LIKE on an integer column is false, not an error.
+  EXPECT_FALSE(ValueIsTrue(EvalOn(Like(Col("year"), "4"), 0)));
+}
+
+TEST_F(ExprTest, TextMatchExpression) {
+  Schema schema;
+  schema.AddColumn(Column{"d", "title", ValueType::kString});
+  schema.AddColumn(Column{"d", "authors", ValueType::kString});
+  Row row{Value::Str("Belief update in KBs"),
+          Value::Str(JoinFieldValues({"John Smith", "Mary Kao"}))};
+  ExprPtr match = TextMatch(Lit(Value::Str("belief update")),
+                            Col("d.title"));
+  ASSERT_TRUE(match->Bind(schema).ok());
+  EXPECT_TRUE(ValueIsTrue(match->Eval(row)));
+
+  ExprPtr cross = TextMatch(Lit(Value::Str("smith mary")),
+                            Col("d.authors"));
+  ASSERT_TRUE(cross->Bind(schema).ok());
+  EXPECT_FALSE(ValueIsTrue(cross->Eval(row)));
+}
+
+TEST_F(ExprTest, BindFailsOnUnknownColumn) {
+  ExprPtr expr = Eq(Col("nope"), Lit(Value::Int(1)));
+  EXPECT_EQ(expr->Bind(table_->schema()).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, CloneIsDeepAndIndependent) {
+  ExprPtr expr = Eq(Col("area"), Lit(Value::Str("AI")));
+  ExprPtr copy = expr->Clone();
+  ASSERT_TRUE(copy->Bind(table_->schema()).ok());
+  EXPECT_TRUE(ValueIsTrue(copy->Eval(table_->row(0))));
+  EXPECT_EQ(expr->ToString(), copy->ToString());
+}
+
+TEST_F(ExprTest, ToStringRendering) {
+  EXPECT_EQ(Eq(Col("a"), Lit(Value::Int(1)))->ToString(), "a = 1");
+  std::vector<ExprPtr> kids;
+  kids.push_back(Eq(Col("a"), Lit(Value::Int(1))));
+  kids.push_back(Eq(Col("b"), Lit(Value::Int(2))));
+  EXPECT_EQ(And(std::move(kids))->ToString(), "(a = 1 AND b = 2)");
+}
+
+// -------------------------------------------------------------- Operators
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  OperatorTest() : table_(MakeStudentTable()) {}
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(OperatorTest, TableScanAll) {
+  TableScan scan(table_.get());
+  EXPECT_EQ(DrainOperator(scan).size(), 5u);
+}
+
+TEST_F(OperatorTest, ScanIsRewindable) {
+  TableScan scan(table_.get());
+  EXPECT_EQ(DrainOperator(scan).size(), 5u);
+  EXPECT_EQ(DrainOperator(scan).size(), 5u);
+}
+
+TEST_F(OperatorTest, FilterSelectsMatching) {
+  auto scan = std::make_unique<TableScan>(table_.get());
+  Filter filter(std::move(scan),
+                Eq(Col("advisor"), Lit(Value::Str("Garcia"))));
+  EXPECT_EQ(DrainOperator(filter).size(), 3u);
+}
+
+TEST_F(OperatorTest, ProjectReordersColumns) {
+  auto scan = std::make_unique<TableScan>(table_.get());
+  Project project(std::move(scan), {"student.year", "student.name"});
+  std::vector<Row> rows = DrainOperator(project);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].AsInt(), 4);
+  EXPECT_EQ(rows[0][1].AsString(), "Radhika");
+  EXPECT_EQ(project.schema().column(0).QualifiedName(), "student.year");
+}
+
+TEST_F(OperatorTest, NestedLoopJoinCrossProduct) {
+  auto left = std::make_unique<TableScan>(table_.get());
+  auto right = std::make_unique<TableScan>(table_.get());
+  // Self cross product needs distinct qualifiers to avoid ambiguity; use no
+  // predicate and check cardinality only.
+  NestedLoopJoin join(std::move(left), std::move(right), nullptr);
+  EXPECT_EQ(DrainOperator(join).size(), 25u);
+}
+
+TEST_F(OperatorTest, HashJoinEquiKeys) {
+  // Join student with itself on advisor: Garcia-group 3x3 + Ullman 2x2 = 13.
+  Schema right_schema = table_->schema().WithQualifier("s2");
+  std::vector<Row> right_rows(table_->rows().begin(), table_->rows().end());
+  auto left = std::make_unique<TableScan>(table_.get());
+  auto right = std::make_unique<RowsSource>(right_schema, right_rows);
+  HashJoin join(std::move(left), std::move(right),
+                {{"student.advisor", "s2.advisor"}}, nullptr);
+  EXPECT_EQ(DrainOperator(join).size(), 13u);
+}
+
+TEST_F(OperatorTest, HashJoinMatchesNestedLoop) {
+  Schema right_schema = table_->schema().WithQualifier("s2");
+  std::vector<Row> right_rows(table_->rows().begin(), table_->rows().end());
+
+  auto nl_left = std::make_unique<TableScan>(table_.get());
+  auto nl_right = std::make_unique<RowsSource>(right_schema, right_rows);
+  NestedLoopJoin nl(std::move(nl_left), std::move(nl_right),
+                    Eq(Col("student.advisor"), Col("s2.advisor")));
+
+  auto h_left = std::make_unique<TableScan>(table_.get());
+  auto h_right = std::make_unique<RowsSource>(right_schema, right_rows);
+  HashJoin hash(std::move(h_left), std::move(h_right),
+                {{"student.advisor", "s2.advisor"}}, nullptr);
+
+  std::vector<Row> a = DrainOperator(nl);
+  std::vector<Row> b = DrainOperator(hash);
+  auto key = [](const Row& r) { return RowToString(r); };
+  std::multiset<std::string> sa, sb;
+  for (const Row& r : a) sa.insert(key(r));
+  for (const Row& r : b) sb.insert(key(r));
+  EXPECT_EQ(sa, sb);
+}
+
+TEST_F(OperatorTest, HashJoinResidualPredicate) {
+  Schema right_schema = table_->schema().WithQualifier("s2");
+  std::vector<Row> right_rows(table_->rows().begin(), table_->rows().end());
+  auto left = std::make_unique<TableScan>(table_.get());
+  auto right = std::make_unique<RowsSource>(right_schema, right_rows);
+  HashJoin join(std::move(left), std::move(right),
+                {{"student.advisor", "s2.advisor"}},
+                Cmp(CompareOp::kNe, Col("student.name"), Col("s2.name")));
+  // 13 - 5 self-pairs = 8.
+  EXPECT_EQ(DrainOperator(join).size(), 8u);
+}
+
+TEST_F(OperatorTest, DistinctRemovesDuplicates) {
+  auto scan = std::make_unique<TableScan>(table_.get());
+  auto project = std::make_unique<Project>(std::move(scan),
+                                           std::vector<std::string>{
+                                               "student.advisor"});
+  Distinct distinct(std::move(project));
+  EXPECT_EQ(DrainOperator(distinct).size(), 2u);
+}
+
+TEST_F(OperatorTest, SortOrdersByKey) {
+  auto scan = std::make_unique<TableScan>(table_.get());
+  Sort sort(std::move(scan), {"student.year"});
+  std::vector<Row> rows = DrainOperator(sort);
+  ASSERT_EQ(rows.size(), 5u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1][3].AsInt(), rows[i][3].AsInt());
+  }
+}
+
+TEST_F(OperatorTest, LimitTruncates) {
+  auto scan = std::make_unique<TableScan>(table_.get());
+  Limit limit(std::move(scan), 2);
+  EXPECT_EQ(DrainOperator(limit).size(), 2u);
+}
+
+TEST_F(OperatorTest, LimitZero) {
+  auto scan = std::make_unique<TableScan>(table_.get());
+  Limit limit(std::move(scan), 0);
+  EXPECT_TRUE(DrainOperator(limit).empty());
+}
+
+// ------------------------------------------------------------- TableStats
+
+TEST(TableStatsTest, AnalyzeBasics) {
+  auto table = MakeStudentTable();
+  TableStats stats = TableStats::Analyze(*table);
+  EXPECT_EQ(stats.num_rows(), 5u);
+  EXPECT_EQ(stats.NumDistinct(0), 5u);  // name
+  EXPECT_EQ(stats.NumDistinct(2), 2u);  // advisor
+  EXPECT_EQ(stats.column(3).min.AsInt(), 2);
+  EXPECT_EQ(stats.column(3).max.AsInt(), 6);
+}
+
+TEST(TableStatsTest, Selectivities) {
+  auto table = MakeStudentTable();
+  TableStats stats = TableStats::Analyze(*table);
+  EXPECT_DOUBLE_EQ(stats.EqSelectivity(2), 0.5);
+  EXPECT_DOUBLE_EQ(stats.CompareSelectivity(CompareOp::kNe, 2), 0.5);
+  EXPECT_DOUBLE_EQ(stats.CompareSelectivity(CompareOp::kLt, 2), 1.0 / 3.0);
+}
+
+
+TEST(TableStatsTest, HistogramRangeSelectivity) {
+  Schema schema;
+  schema.AddColumn(Column{"t", "v", ValueType::kInt64});
+  Table table("t", schema);
+  // Skewed data: 90 rows of value 1..9, 10 rows of 100..1000.
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(table.Insert({Value::Int(1 + i % 9)}).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Insert({Value::Int(100 * (i + 1))}).ok());
+  }
+  TableStats stats = TableStats::Analyze(table);
+  const Value fifty = Value::Int(50);
+  // ~90% of rows are below 50; equi-depth histogram should see that, while
+  // the System-R default would say 33%.
+  EXPECT_NEAR(stats.FractionBelow(0, fifty), 0.9, 0.1);
+  EXPECT_NEAR(stats.CompareSelectivity(CompareOp::kLt, 0, &fifty), 0.9, 0.1);
+  EXPECT_NEAR(stats.CompareSelectivity(CompareOp::kGe, 0, &fifty), 0.1, 0.1);
+  // Extremes clamp to [0, 1].
+  const Value zero = Value::Int(0);
+  const Value huge = Value::Int(99999);
+  EXPECT_DOUBLE_EQ(stats.FractionBelow(0, zero), 0.0);
+  EXPECT_DOUBLE_EQ(stats.FractionBelow(0, huge), 1.0);
+  // Without a literal the System-R default still applies.
+  EXPECT_DOUBLE_EQ(stats.CompareSelectivity(CompareOp::kLt, 0), 1.0 / 3.0);
+}
+
+TEST(TableStatsTest, HistogramOnStrings) {
+  auto table = MakeStudentTable();
+  TableStats stats = TableStats::Analyze(*table);
+  // Names sorted: Gravano, Kao, Radhika, Smith, Yan. 'M' sits after 2/5.
+  const Value m = Value::Str("M");
+  const double below = stats.FractionBelow(0, m);
+  EXPECT_GT(below, 0.2);
+  EXPECT_LT(below, 0.7);
+}
+
+TEST(TableStatsTest, NullsTracked) {
+  Schema schema;
+  schema.AddColumn(Column{"t", "a", ValueType::kInt64});
+  Table table("t", schema);
+  ASSERT_TRUE(table.Insert({Value::Null()}).ok());
+  ASSERT_TRUE(table.Insert({Value::Int(1)}).ok());
+  TableStats stats = TableStats::Analyze(table);
+  EXPECT_EQ(stats.column(0).num_nulls, 1u);
+  EXPECT_EQ(stats.NumDistinct(0), 1u);
+}
+
+}  // namespace
+}  // namespace textjoin

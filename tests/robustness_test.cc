@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "connector/remote_text_source.h"
+#include "core/enumerator.h"
+#include "core/executor.h"
+#include "core/join_methods.h"
+#include "core/statistics.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace textjoin {
+namespace {
+
+using textjoin::testing::MakeSmallEngine;
+using textjoin::testing::MakeStudentTable;
+using textjoin::testing::MercuryDecl;
+
+/// A text source that fails every `period`-th call — models a flaky remote
+/// server. Join methods must propagate the failure as a Status (never
+/// crash, never return partial results as success).
+class FlakyTextSource final : public TextSource {
+ public:
+  FlakyTextSource(TextSource* inner, int period)
+      : inner_(inner), period_(period) {}
+
+  Result<std::vector<std::string>> Search(const TextQuery& query) override {
+    if (++calls_ % period_ == 0) {
+      return Status::Internal("injected search failure");
+    }
+    return inner_->Search(query);
+  }
+  Result<Document> Fetch(const std::string& docid) override {
+    if (++calls_ % period_ == 0) {
+      return Status::Internal("injected fetch failure");
+    }
+    return inner_->Fetch(docid);
+  }
+  size_t max_search_terms() const override {
+    return inner_->max_search_terms();
+  }
+  size_t num_documents() const override { return inner_->num_documents(); }
+
+ private:
+  TextSource* inner_;
+  int period_;
+  int calls_ = 0;
+};
+
+class FlakySourceTest : public ::testing::TestWithParam<int> {
+ protected:
+  FlakySourceTest()
+      : engine_(MakeSmallEngine()),
+        inner_(engine_.get()),
+        table_(MakeStudentTable()) {}
+
+  ForeignJoinSpec Spec() const {
+    ForeignJoinSpec spec;
+    spec.left_schema = table_->schema();
+    spec.text = MercuryDecl();
+    spec.selections = {{"belief", "title"}};
+    spec.joins = {{"student.name", "author"},
+                  {"student.advisor", "author"}};
+    return spec;
+  }
+
+  std::unique_ptr<TextEngine> engine_;
+  RemoteTextSource inner_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_P(FlakySourceTest, MethodsFailCleanlyOrSucceedExactly) {
+  const int period = GetParam();
+  // Ground truth from a reliable run.
+  auto truth = ExecuteForeignJoin(JoinMethodKind::kTS, Spec(),
+                                  table_->rows(), inner_);
+  ASSERT_TRUE(truth.ok());
+  const auto expected =
+      textjoin::testing::PairSet(*truth, table_->schema().num_columns());
+
+  const std::vector<std::pair<JoinMethodKind, PredicateMask>> methods = {
+      {JoinMethodKind::kTS, 0},     {JoinMethodKind::kRTP, 0},
+      {JoinMethodKind::kSJRTP, 0},  {JoinMethodKind::kPTS, 0b01},
+      {JoinMethodKind::kPRTP, 0b10},
+  };
+  for (const auto& [method, mask] : methods) {
+    FlakyTextSource flaky(&inner_, period);
+    auto result =
+        ExecuteForeignJoin(method, Spec(), table_->rows(), flaky, mask);
+    if (result.ok()) {
+      // If the method happened to dodge the injected failures (few calls),
+      // its answer must still be exactly right.
+      EXPECT_EQ(textjoin::testing::PairSet(*result,
+                                           table_->schema().num_columns()),
+                expected)
+          << JoinMethodName(method) << " period " << period;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInternal)
+          << JoinMethodName(method);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, FlakySourceTest,
+                         ::testing::Values(1, 2, 3, 7, 1000));
+
+/// Randomized MULTI-relation optimizer fuzz: chain/star queries over 2-3
+/// generated relations plus the text source; the PrL plan's answer must
+/// match brute force.
+class MultiRelationPlanTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiRelationPlanTest, OptimizedMultiJoinMatchesReference) {
+  Rng rng(GetParam() * 101 + 7);
+  ScenarioConfig config;
+  config.seed = GetParam() * 13 + 1;
+  config.num_documents = static_cast<size_t>(rng.Uniform(80, 400));
+  const size_t num_relations = static_cast<size_t>(rng.Uniform(2, 3));
+  for (size_t i = 0; i < num_relations; ++i) {
+    config.relations.push_back(
+        {"r" + std::to_string(i),
+         static_cast<size_t>(rng.Uniform(4, 25)),
+         {{"k", static_cast<size_t>(rng.Uniform(2, 6))}}});
+  }
+  // One or two text predicates on distinct relations.
+  const size_t num_preds = static_cast<size_t>(rng.Uniform(1, 2));
+  for (size_t p = 0; p < num_preds && p < num_relations; ++p) {
+    const double s = 0.2 + rng.NextDouble() * 0.6;
+    config.predicates.push_back(
+        {"r" + std::to_string(p), "c", "author",
+         static_cast<size_t>(rng.Uniform(3, 15)), s,
+         s + rng.NextDouble() * 2});
+  }
+  if (rng.Bernoulli(0.5)) {
+    config.selections.push_back(
+        {"selterm", "title",
+         static_cast<size_t>(rng.Uniform(0, 20))});
+  }
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+
+  FederatedQuery query;
+  for (size_t i = 0; i < num_relations; ++i) {
+    query.relations.push_back({"r" + std::to_string(i), ""});
+  }
+  query.text = scenario->text;
+  query.has_text_relation = true;
+  // Chain the relations on their k columns (equi or non-equi at random).
+  for (size_t i = 0; i + 1 < num_relations; ++i) {
+    const std::string a = "r" + std::to_string(i) + ".k";
+    const std::string b = "r" + std::to_string(i + 1) + ".k";
+    query.relational_predicates.push_back(
+        rng.Bernoulli(0.7) ? Eq(Col(a), Col(b))
+                           : Cmp(CompareOp::kNe, Col(a), Col(b)));
+  }
+  for (const SelectionSpec& sel : config.selections) {
+    query.text_selections.push_back({sel.term, sel.field});
+  }
+  for (size_t p = 0; p < config.predicates.size(); ++p) {
+    query.text_joins.push_back(
+        {config.predicates[p].relation + ".c", config.predicates[p].field});
+  }
+
+  StatsRegistry registry;
+  ASSERT_TRUE(ComputeExactStats(query, *scenario->catalog, *scenario->engine,
+                                registry)
+                  .ok());
+  for (const bool probes : {false, true}) {
+    EnumeratorOptions options;
+    options.enable_probes = probes;
+    Enumerator enumerator(scenario->catalog.get(), &registry,
+                          scenario->engine->num_documents(),
+                          scenario->engine->max_search_terms(), options);
+    auto plan = enumerator.Optimize(query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    RemoteTextSource source(scenario->engine.get());
+    PlanExecutor executor(scenario->catalog.get(), &source);
+    auto result = executor.Execute(**plan, query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto reference = ReferenceExecute(query, *scenario->catalog,
+                                      scenario->engine->documents());
+    ASSERT_TRUE(reference.ok());
+    std::multiset<std::string> got, want;
+    for (const Row& row : result->rows) got.insert(RowToString(row));
+    for (const Row& row : reference->rows) want.insert(RowToString(row));
+    EXPECT_EQ(got, want) << "seed " << GetParam() << " probes=" << probes
+                         << "\n"
+                         << (*plan)->ToString(query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQueries, MultiRelationPlanTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace textjoin

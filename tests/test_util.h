@@ -1,0 +1,125 @@
+#ifndef TEXTJOIN_TESTS_TEST_UTIL_H_
+#define TEXTJOIN_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/federated_query.h"
+#include "core/join_methods.h"
+#include "relational/table.h"
+#include "text/document.h"
+#include "text/engine.h"
+
+/// \file
+/// Shared fixtures: a tiny bibliographic corpus and a student relation
+/// mirroring the paper's running examples.
+
+namespace textjoin::testing {
+
+/// Makes a bibliographic document with one title and a list of authors.
+inline Document MakeDoc(std::string docid, std::string title,
+                        std::vector<std::string> authors,
+                        std::string year = "1994") {
+  Document doc;
+  doc.docid = std::move(docid);
+  doc.fields["title"] = {std::move(title)};
+  doc.fields["author"] = std::move(authors);
+  doc.fields["year"] = {std::move(year)};
+  return doc;
+}
+
+/// A small CSTR-like corpus used across unit tests.
+inline std::unique_ptr<TextEngine> MakeSmallEngine() {
+  auto engine = std::make_unique<TextEngine>();
+  auto add = [&](Document d) {
+    auto r = engine->AddDocument(std::move(d));
+    TEXTJOIN_CHECK(r.ok(), "%s", r.status().ToString().c_str());
+  };
+  add(MakeDoc("d1", "Belief update in knowledge bases", {"Radhika", "Smith"}));
+  add(MakeDoc("d2", "Text retrieval systems survey", {"Gravano", "Kao"}));
+  add(MakeDoc("d3", "Distributed systems overview", {"Garcia", "Gravano"}));
+  add(MakeDoc("d4", "Belief revision and update", {"Kao"}));
+  add(MakeDoc("d5", "Query optimization for text", {"Smith", "Garcia"}));
+  add(MakeDoc("d6", "Information filtering", {"Yan"}, "1993"));
+  return engine;
+}
+
+/// The student relation of the paper's examples: (name, area, advisor,
+/// year).
+inline std::unique_ptr<Table> MakeStudentTable() {
+  Schema schema;
+  schema.AddColumn(Column{"student", "name", ValueType::kString});
+  schema.AddColumn(Column{"student", "area", ValueType::kString});
+  schema.AddColumn(Column{"student", "advisor", ValueType::kString});
+  schema.AddColumn(Column{"student", "year", ValueType::kInt64});
+  auto table = std::make_unique<Table>("student", schema);
+  auto add = [&](const char* name, const char* area, const char* advisor,
+                 int64_t year) {
+    auto st = table->Insert(Row{Value::Str(name), Value::Str(area),
+                                Value::Str(advisor), Value::Int(year)});
+    TEXTJOIN_CHECK(st.ok(), "%s", st.ToString().c_str());
+  };
+  add("Radhika", "AI", "Garcia", 4);
+  add("Gravano", "distributed systems", "Garcia", 5);
+  add("Kao", "distributed systems", "Garcia", 2);
+  add("Smith", "AI", "Ullman", 4);
+  add("Yan", "IR", "Ullman", 6);
+  return table;
+}
+
+/// A faculty relation for multi-join tests: (name, area).
+inline std::unique_ptr<Table> MakeFacultyTable() {
+  Schema schema;
+  schema.AddColumn(Column{"faculty", "name", ValueType::kString});
+  schema.AddColumn(Column{"faculty", "area", ValueType::kString});
+  auto table = std::make_unique<Table>("faculty", schema);
+  auto add = [&](const char* name, const char* area) {
+    auto st = table->Insert(Row{Value::Str(name), Value::Str(area)});
+    TEXTJOIN_CHECK(st.ok(), "%s", st.ToString().c_str());
+  };
+  add("Garcia", "distributed systems");
+  add("Ullman", "AI");
+  add("Widom", "IR");
+  return table;
+}
+
+/// The text relation declaration matching MakeSmallEngine documents.
+inline TextRelationDecl MercuryDecl() {
+  TextRelationDecl decl;
+  decl.alias = "mercury";
+  decl.fields = {"title", "author", "year"};
+  return decl;
+}
+
+/// Canonical comparable form of a foreign-join result: the set of
+/// (left-row-rendered, docid) pairs. Doc fields and null-ness are excluded
+/// so results from all methods (which differ in which columns they
+/// populate) can be compared.
+inline std::set<std::pair<std::string, std::string>> PairSet(
+    const ForeignJoinResult& result, size_t left_width) {
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const Row& row : result.rows) {
+    Row left(row.begin(), row.begin() + static_cast<ptrdiff_t>(left_width));
+    const Value& docid = row.at(left_width);
+    pairs.emplace(RowToString(left), docid.AsString());
+  }
+  return pairs;
+}
+
+/// The set of distinct docids in a result (for doc-side semi-joins).
+inline std::set<std::string> DocidSet(const ForeignJoinResult& result,
+                                      size_t left_width) {
+  std::set<std::string> docids;
+  for (const Row& row : result.rows) {
+    docids.insert(row.at(left_width).AsString());
+  }
+  return docids;
+}
+
+}  // namespace textjoin::testing
+
+#endif  // TEXTJOIN_TESTS_TEST_UTIL_H_

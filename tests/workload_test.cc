@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "connector/remote_text_source.h"
+#include "core/executor.h"
+#include "core/join_methods.h"
+#include "core/statistics.h"
+#include "workload/paper_queries.h"
+#include "workload/scenario.h"
+#include "workload/university.h"
+
+namespace textjoin {
+namespace {
+
+TEST(ScenarioTest, GeneratesRequestedShapes) {
+  ScenarioConfig config;
+  config.relations = {{"r", 200, {{"grp", 4}}}};
+  config.predicates = {{"r", "key", "author", 50, 0.4, 1.0}};
+  config.selections = {{"magicterm", "title", 7}};
+  config.num_documents = 1000;
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  ASSERT_TRUE(scenario->catalog->HasTable("r"));
+  Table* table = *scenario->catalog->GetTable("r");
+  EXPECT_EQ(table->num_rows(), 200u);
+  EXPECT_EQ(table->schema().num_columns(), 2u);  // key + grp
+  EXPECT_EQ(scenario->engine->num_documents(), 1000u);
+  // Selection term planted into exactly 7 documents.
+  auto q = TextQuery::Term("title", "magicterm");
+  auto result = scenario->engine->Search(*q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->docs.size(), 7u);
+}
+
+TEST(ScenarioTest, RealizesTargetStatistics) {
+  ScenarioConfig config;
+  config.relations = {{"r", 5000, {}}};
+  config.predicates = {{"r", "key", "author", 100, 0.3, 2.0}};
+  config.num_documents = 5000;
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok());
+  // Measure s and f exactly over the pool.
+  size_t matched = 0;
+  size_t total_docs = 0;
+  for (size_t j = 0; j < 100; ++j) {
+    auto q = TextQuery::Term("author", "p0v" + std::to_string(j));
+    auto result = scenario->engine->Search(*q);
+    ASSERT_TRUE(result.ok());
+    if (!result->docs.empty()) ++matched;
+    total_docs += result->docs.size();
+  }
+  EXPECT_EQ(matched, 30u);  // s = 0.3 exactly (llround of 0.3*100)
+  EXPECT_NEAR(static_cast<double>(total_docs) / 100.0, 2.0, 0.05);
+}
+
+TEST(ScenarioTest, JointPlacementsCreateCooccurrence) {
+  ScenarioConfig config;
+  config.relations = {{"r", 100, {}}};
+  config.predicates = {
+      {"r", "a", "title", 20, 0.0, 0.0},
+      {"r", "b", "author", 50, 0.0, 0.0},
+  };
+  config.joints = {{"r", {0, 1}, 0.5, 2.0, /*restrict_to_matching=*/false}};
+  config.num_documents = 2000;
+  auto scenario = BuildScenario(config);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  // Some (a AND b) conjunctive searches must match — co-occurrence exists.
+  Table* table = *scenario->catalog->GetTable("r");
+  size_t joint_hits = 0;
+  for (const Row& row : table->rows()) {
+    std::vector<TextQueryPtr> kids;
+    kids.push_back(TextQuery::Term("title", row[0].AsString()));
+    kids.push_back(TextQuery::Term("author", row[1].AsString()));
+    auto q = TextQuery::And(std::move(kids));
+    auto result = scenario->engine->Search(*q);
+    ASSERT_TRUE(result.ok());
+    if (!result->docs.empty()) ++joint_hits;
+  }
+  EXPECT_GT(joint_hits, 10u);
+}
+
+TEST(ScenarioTest, RejectsInconsistentTargets) {
+  ScenarioConfig config;
+  config.relations = {{"r", 10, {}}};
+  config.num_documents = 100;
+  // fanout < selectivity is impossible.
+  config.predicates = {{"r", "key", "author", 100, 1.0, 0.1}};
+  EXPECT_FALSE(BuildScenario(config).ok());
+  // fanout requiring more docs than D.
+  config.predicates = {{"r", "key", "author", 2, 0.5, 200.0}};
+  EXPECT_FALSE(BuildScenario(config).ok());
+  // selection with too many matches.
+  config.predicates.clear();
+  config.selections = {{"t", "title", 1000}};
+  EXPECT_FALSE(BuildScenario(config).ok());
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  ScenarioConfig config;
+  config.relations = {{"r", 50, {}}};
+  config.predicates = {{"r", "key", "author", 10, 0.5, 1.0}};
+  config.num_documents = 200;
+  auto a = BuildScenario(config);
+  auto b = BuildScenario(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Table* ta = *a->catalog->GetTable("r");
+  Table* tb = *b->catalog->GetTable("r");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t i = 0; i < ta->num_rows(); ++i) {
+    EXPECT_EQ(RowToString(ta->row(i)), RowToString(tb->row(i)));
+  }
+}
+
+// Every paper-query builder yields a runnable scenario whose methods agree
+// with the brute-force reference.
+class PaperQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperQueryTest, MethodsAgreeWithReference) {
+  Result<PaperScenario> built = Status::Internal("unset");
+  switch (GetParam()) {
+    case 1: {
+      Q1Config c;
+      c.num_documents = 2000;
+      built = BuildQ1(c);
+      break;
+    }
+    case 2: {
+      Q2Config c;
+      c.num_documents = 2000;
+      built = BuildQ2(c);
+      break;
+    }
+    case 3: {
+      Q3Config c;
+      c.num_documents = 2000;
+      built = BuildQ3(c);
+      break;
+    }
+    case 4: {
+      Q4Config c;
+      c.num_documents = 2000;
+      built = BuildQ4(c);
+      break;
+    }
+    case 5: {
+      Q5Config c;
+      c.num_documents = 2000;
+      c.num_students = 60;
+      built = BuildQ5(c);
+      break;
+    }
+  }
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const FederatedQuery& query = built->query;
+  const Scenario& scenario = built->scenario;
+  auto reference =
+      ReferenceExecute(query, *scenario.catalog, scenario.engine->documents());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Execute via TS through a plan-free path: filter the relation manually
+  // is what the executor does; here we only check the reference runs and
+  // the scenario is well-formed. Full method-vs-reference equivalence runs
+  // in property_test.cc; here we sanity-check determinism and stats.
+  StatsRegistry registry;
+  EXPECT_TRUE(
+      ComputeExactStats(query, *scenario.catalog, *scenario.engine, registry)
+          .ok());
+  for (const TextJoinPredicate& pred : query.text_joins) {
+    auto stats = registry.GetTextJoinStats(pred.column_ref, pred.field);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE(stats->selectivity, 0.0);
+    EXPECT_LE(stats->selectivity, 1.0);
+    EXPECT_GE(stats->fanout, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Q1toQ5, PaperQueryTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(UniversityTest, GeneratesConsistentWorkload) {
+  UniversityConfig config;
+  config.num_documents = 500;
+  config.num_students = 40;
+  config.num_faculty = 10;
+  config.num_projects = 8;
+  auto uni = BuildUniversity(config);
+  ASSERT_TRUE(uni.ok()) << uni.status().ToString();
+  EXPECT_TRUE(uni->catalog->HasTable("student"));
+  EXPECT_TRUE(uni->catalog->HasTable("faculty"));
+  EXPECT_TRUE(uni->catalog->HasTable("project"));
+  EXPECT_EQ(uni->engine->num_documents(), 500u);
+  Table* students = *uni->catalog->GetTable("student");
+  EXPECT_EQ(students->num_rows(), 40u);
+  // Some student must actually be an author in the corpus (the whole point
+  // of the workload).
+  size_t author_hits = 0;
+  for (const Row& row : students->rows()) {
+    auto q = TextQuery::Term("author", row[0].AsString());
+    auto result = uni->engine->Search(*q);
+    ASSERT_TRUE(result.ok());
+    if (!result->docs.empty()) ++author_hits;
+  }
+  EXPECT_GT(author_hits, 5u);
+}
+
+TEST(UniversityTest, DeterministicForSeed) {
+  UniversityConfig config;
+  config.num_documents = 200;
+  auto a = BuildUniversity(config);
+  auto b = BuildUniversity(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->engine->num_documents(), b->engine->num_documents());
+  EXPECT_EQ(a->engine->documents()[10].docid,
+            b->engine->documents()[10].docid);
+  EXPECT_EQ(a->engine->documents()[10].FieldValues("title"),
+            b->engine->documents()[10].FieldValues("title"));
+}
+
+}  // namespace
+}  // namespace textjoin
