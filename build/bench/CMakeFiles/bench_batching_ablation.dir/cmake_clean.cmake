@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batching_ablation.dir/bench_batching_ablation.cpp.o"
+  "CMakeFiles/bench_batching_ablation.dir/bench_batching_ablation.cpp.o.d"
+  "bench_batching_ablation"
+  "bench_batching_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batching_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

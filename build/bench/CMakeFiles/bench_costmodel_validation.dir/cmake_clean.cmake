@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costmodel_validation.dir/bench_costmodel_validation.cpp.o"
+  "CMakeFiles/bench_costmodel_validation.dir/bench_costmodel_validation.cpp.o.d"
+  "bench_costmodel_validation"
+  "bench_costmodel_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costmodel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semijoin_ablation.dir/bench_semijoin_ablation.cpp.o"
+  "CMakeFiles/bench_semijoin_ablation.dir/bench_semijoin_ablation.cpp.o.d"
+  "bench_semijoin_ablation"
+  "bench_semijoin_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semijoin_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

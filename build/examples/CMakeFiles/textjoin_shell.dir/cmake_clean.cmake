@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_shell.dir/textjoin_shell.cpp.o"
+  "CMakeFiles/textjoin_shell.dir/textjoin_shell.cpp.o.d"
+  "textjoin_shell"
+  "textjoin_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

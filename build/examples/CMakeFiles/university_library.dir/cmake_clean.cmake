@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_library.dir/university_library.cpp.o"
+  "CMakeFiles/university_library.dir/university_library.cpp.o.d"
+  "university_library"
+  "university_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

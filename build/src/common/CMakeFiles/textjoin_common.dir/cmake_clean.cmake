@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_common.dir/random.cc.o"
+  "CMakeFiles/textjoin_common.dir/random.cc.o.d"
+  "CMakeFiles/textjoin_common.dir/status.cc.o"
+  "CMakeFiles/textjoin_common.dir/status.cc.o.d"
+  "CMakeFiles/textjoin_common.dir/string_util.cc.o"
+  "CMakeFiles/textjoin_common.dir/string_util.cc.o.d"
+  "CMakeFiles/textjoin_common.dir/text_match.cc.o"
+  "CMakeFiles/textjoin_common.dir/text_match.cc.o.d"
+  "CMakeFiles/textjoin_common.dir/value.cc.o"
+  "CMakeFiles/textjoin_common.dir/value.cc.o.d"
+  "libtextjoin_common.a"
+  "libtextjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

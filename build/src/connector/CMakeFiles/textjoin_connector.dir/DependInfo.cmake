@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/connector/cooperative.cc" "src/connector/CMakeFiles/textjoin_connector.dir/cooperative.cc.o" "gcc" "src/connector/CMakeFiles/textjoin_connector.dir/cooperative.cc.o.d"
+  "/root/repo/src/connector/cost_meter.cc" "src/connector/CMakeFiles/textjoin_connector.dir/cost_meter.cc.o" "gcc" "src/connector/CMakeFiles/textjoin_connector.dir/cost_meter.cc.o.d"
+  "/root/repo/src/connector/remote_text_source.cc" "src/connector/CMakeFiles/textjoin_connector.dir/remote_text_source.cc.o" "gcc" "src/connector/CMakeFiles/textjoin_connector.dir/remote_text_source.cc.o.d"
+  "/root/repo/src/connector/sampler.cc" "src/connector/CMakeFiles/textjoin_connector.dir/sampler.cc.o" "gcc" "src/connector/CMakeFiles/textjoin_connector.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/textjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/textjoin_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/textjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_connector.dir/cooperative.cc.o"
+  "CMakeFiles/textjoin_connector.dir/cooperative.cc.o.d"
+  "CMakeFiles/textjoin_connector.dir/cost_meter.cc.o"
+  "CMakeFiles/textjoin_connector.dir/cost_meter.cc.o.d"
+  "CMakeFiles/textjoin_connector.dir/remote_text_source.cc.o"
+  "CMakeFiles/textjoin_connector.dir/remote_text_source.cc.o.d"
+  "CMakeFiles/textjoin_connector.dir/sampler.cc.o"
+  "CMakeFiles/textjoin_connector.dir/sampler.cc.o.d"
+  "libtextjoin_connector.a"
+  "libtextjoin_connector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_connector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/textjoin_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/batched_ts.cc" "src/core/CMakeFiles/textjoin_core.dir/batched_ts.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/batched_ts.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/textjoin_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/enumerator.cc" "src/core/CMakeFiles/textjoin_core.dir/enumerator.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/enumerator.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/textjoin_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/federated_query.cc" "src/core/CMakeFiles/textjoin_core.dir/federated_query.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/federated_query.cc.o.d"
+  "/root/repo/src/core/join_methods.cc" "src/core/CMakeFiles/textjoin_core.dir/join_methods.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/join_methods.cc.o.d"
+  "/root/repo/src/core/join_methods_internal.cc" "src/core/CMakeFiles/textjoin_core.dir/join_methods_internal.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/join_methods_internal.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/textjoin_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/probing.cc" "src/core/CMakeFiles/textjoin_core.dir/probing.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/probing.cc.o.d"
+  "/root/repo/src/core/rtp.cc" "src/core/CMakeFiles/textjoin_core.dir/rtp.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/rtp.cc.o.d"
+  "/root/repo/src/core/semi_join.cc" "src/core/CMakeFiles/textjoin_core.dir/semi_join.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/semi_join.cc.o.d"
+  "/root/repo/src/core/single_join_optimizer.cc" "src/core/CMakeFiles/textjoin_core.dir/single_join_optimizer.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/single_join_optimizer.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/textjoin_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/statistics.cc.o.d"
+  "/root/repo/src/core/tuple_substitution.cc" "src/core/CMakeFiles/textjoin_core.dir/tuple_substitution.cc.o" "gcc" "src/core/CMakeFiles/textjoin_core.dir/tuple_substitution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/connector/CMakeFiles/textjoin_connector.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/textjoin_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/textjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/textjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

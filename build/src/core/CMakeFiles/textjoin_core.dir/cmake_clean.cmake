@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_core.dir/adaptive.cc.o"
+  "CMakeFiles/textjoin_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/batched_ts.cc.o"
+  "CMakeFiles/textjoin_core.dir/batched_ts.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/cost_model.cc.o"
+  "CMakeFiles/textjoin_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/enumerator.cc.o"
+  "CMakeFiles/textjoin_core.dir/enumerator.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/executor.cc.o"
+  "CMakeFiles/textjoin_core.dir/executor.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/federated_query.cc.o"
+  "CMakeFiles/textjoin_core.dir/federated_query.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/join_methods.cc.o"
+  "CMakeFiles/textjoin_core.dir/join_methods.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/join_methods_internal.cc.o"
+  "CMakeFiles/textjoin_core.dir/join_methods_internal.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/plan.cc.o"
+  "CMakeFiles/textjoin_core.dir/plan.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/probing.cc.o"
+  "CMakeFiles/textjoin_core.dir/probing.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/rtp.cc.o"
+  "CMakeFiles/textjoin_core.dir/rtp.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/semi_join.cc.o"
+  "CMakeFiles/textjoin_core.dir/semi_join.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/single_join_optimizer.cc.o"
+  "CMakeFiles/textjoin_core.dir/single_join_optimizer.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/statistics.cc.o"
+  "CMakeFiles/textjoin_core.dir/statistics.cc.o.d"
+  "CMakeFiles/textjoin_core.dir/tuple_substitution.cc.o"
+  "CMakeFiles/textjoin_core.dir/tuple_substitution.cc.o.d"
+  "libtextjoin_core.a"
+  "libtextjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

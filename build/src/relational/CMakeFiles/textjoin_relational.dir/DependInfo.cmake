@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/catalog.cc" "src/relational/CMakeFiles/textjoin_relational.dir/catalog.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/catalog.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/relational/CMakeFiles/textjoin_relational.dir/expression.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/expression.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "src/relational/CMakeFiles/textjoin_relational.dir/operators.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/operators.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/textjoin_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/textjoin_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/table_stats.cc" "src/relational/CMakeFiles/textjoin_relational.dir/table_stats.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/table_stats.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/relational/CMakeFiles/textjoin_relational.dir/tuple.cc.o" "gcc" "src/relational/CMakeFiles/textjoin_relational.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_relational.dir/catalog.cc.o"
+  "CMakeFiles/textjoin_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/textjoin_relational.dir/expression.cc.o"
+  "CMakeFiles/textjoin_relational.dir/expression.cc.o.d"
+  "CMakeFiles/textjoin_relational.dir/operators.cc.o"
+  "CMakeFiles/textjoin_relational.dir/operators.cc.o.d"
+  "CMakeFiles/textjoin_relational.dir/schema.cc.o"
+  "CMakeFiles/textjoin_relational.dir/schema.cc.o.d"
+  "CMakeFiles/textjoin_relational.dir/table.cc.o"
+  "CMakeFiles/textjoin_relational.dir/table.cc.o.d"
+  "CMakeFiles/textjoin_relational.dir/table_stats.cc.o"
+  "CMakeFiles/textjoin_relational.dir/table_stats.cc.o.d"
+  "CMakeFiles/textjoin_relational.dir/tuple.cc.o"
+  "CMakeFiles/textjoin_relational.dir/tuple.cc.o.d"
+  "libtextjoin_relational.a"
+  "libtextjoin_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_sql.dir/federation_service.cc.o"
+  "CMakeFiles/textjoin_sql.dir/federation_service.cc.o.d"
+  "CMakeFiles/textjoin_sql.dir/lexer.cc.o"
+  "CMakeFiles/textjoin_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/textjoin_sql.dir/parser.cc.o"
+  "CMakeFiles/textjoin_sql.dir/parser.cc.o.d"
+  "libtextjoin_sql.a"
+  "libtextjoin_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/analyzer.cc" "src/text/CMakeFiles/textjoin_text.dir/analyzer.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/analyzer.cc.o.d"
+  "/root/repo/src/text/document.cc" "src/text/CMakeFiles/textjoin_text.dir/document.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/document.cc.o.d"
+  "/root/repo/src/text/engine.cc" "src/text/CMakeFiles/textjoin_text.dir/engine.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/engine.cc.o.d"
+  "/root/repo/src/text/eval.cc" "src/text/CMakeFiles/textjoin_text.dir/eval.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/eval.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/textjoin_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/inverted_index.cc.o.d"
+  "/root/repo/src/text/postings.cc" "src/text/CMakeFiles/textjoin_text.dir/postings.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/postings.cc.o.d"
+  "/root/repo/src/text/query.cc" "src/text/CMakeFiles/textjoin_text.dir/query.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/query.cc.o.d"
+  "/root/repo/src/text/signature_index.cc" "src/text/CMakeFiles/textjoin_text.dir/signature_index.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/signature_index.cc.o.d"
+  "/root/repo/src/text/storage.cc" "src/text/CMakeFiles/textjoin_text.dir/storage.cc.o" "gcc" "src/text/CMakeFiles/textjoin_text.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/textjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

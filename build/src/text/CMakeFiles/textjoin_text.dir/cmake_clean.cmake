@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_text.dir/analyzer.cc.o"
+  "CMakeFiles/textjoin_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/document.cc.o"
+  "CMakeFiles/textjoin_text.dir/document.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/engine.cc.o"
+  "CMakeFiles/textjoin_text.dir/engine.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/eval.cc.o"
+  "CMakeFiles/textjoin_text.dir/eval.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/inverted_index.cc.o"
+  "CMakeFiles/textjoin_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/postings.cc.o"
+  "CMakeFiles/textjoin_text.dir/postings.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/query.cc.o"
+  "CMakeFiles/textjoin_text.dir/query.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/signature_index.cc.o"
+  "CMakeFiles/textjoin_text.dir/signature_index.cc.o.d"
+  "CMakeFiles/textjoin_text.dir/storage.cc.o"
+  "CMakeFiles/textjoin_text.dir/storage.cc.o.d"
+  "libtextjoin_text.a"
+  "libtextjoin_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

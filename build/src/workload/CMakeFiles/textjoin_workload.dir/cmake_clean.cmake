@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textjoin_workload.dir/paper_queries.cc.o"
+  "CMakeFiles/textjoin_workload.dir/paper_queries.cc.o.d"
+  "CMakeFiles/textjoin_workload.dir/scenario.cc.o"
+  "CMakeFiles/textjoin_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/textjoin_workload.dir/university.cc.o"
+  "CMakeFiles/textjoin_workload.dir/university.cc.o.d"
+  "libtextjoin_workload.a"
+  "libtextjoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textjoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtextjoin_workload.a"
+)

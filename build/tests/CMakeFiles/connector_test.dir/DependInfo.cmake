@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/connector_test.cc" "tests/CMakeFiles/connector_test.dir/connector_test.cc.o" "gcc" "tests/CMakeFiles/connector_test.dir/connector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/textjoin_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/textjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/textjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/connector/CMakeFiles/textjoin_connector.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/textjoin_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/textjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/textjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_service_test.dir/federation_service_test.cc.o"
+  "CMakeFiles/federation_service_test.dir/federation_service_test.cc.o.d"
+  "federation_service_test"
+  "federation_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_methods_test.dir/join_methods_test.cc.o"
+  "CMakeFiles/join_methods_test.dir/join_methods_test.cc.o.d"
+  "join_methods_test"
+  "join_methods_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
