@@ -1,0 +1,148 @@
+// Wall-clock scaling of the parallel foreign-join engine.
+//
+// Runs TS and SJ over the university workload with simulated per-operation
+// server latency (the regime the engine targets: network round trips
+// dominate, local CPU is cheap) at parallelism 1, 2, 4 and 8, and reports
+// the measured speedup. The contract being exercised: parallelism changes
+// wall-clock time ONLY — rows and access-meter totals must be
+// byte-identical to the serial run at every thread count.
+//
+// Emits one JSON record per (method, parallelism) point and the standard
+// machine-checked shape line: PASS requires >= 2.5x speedup at 8 threads
+// for both methods with identical rows and meters throughout.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "connector/remote_text_source.h"
+#include "core/join_methods.h"
+#include "sql/parser.h"
+#include "workload/university.h"
+
+namespace textjoin {
+namespace {
+
+struct Point {
+  int parallelism = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  bool identical = true;  ///< Rows and meter match the serial run.
+};
+
+struct MethodScaling {
+  const char* name;
+  std::vector<Point> points;
+};
+
+std::vector<std::string> RenderRows(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(RowToString(row));
+  return out;
+}
+
+MethodScaling Measure(JoinMethodKind method, const bench::PreparedJoin& join,
+                      TextEngine& engine, SimulatedLatency latency) {
+  MethodScaling scaling;
+  scaling.name = JoinMethodName(method);
+  std::vector<std::string> serial_rows;
+  AccessMeter serial_meter;
+  for (const int parallelism : {1, 2, 4, 8}) {
+    RemoteTextSource source(&engine);
+    source.set_simulated_latency(latency);
+    std::unique_ptr<ThreadPool> pool;
+    if (parallelism > 1) {
+      pool = std::make_unique<ThreadPool>(parallelism - 1);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = ExecuteForeignJoin(method, join.spec, join.rows, source,
+                                     /*probe_mask=*/0, pool.get());
+    const auto t1 = std::chrono::steady_clock::now();
+    TEXTJOIN_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+
+    Point point;
+    point.parallelism = parallelism;
+    point.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (parallelism == 1) {
+      serial_rows = RenderRows(result->rows);
+      serial_meter = source.meter();
+    } else {
+      point.identical = RenderRows(result->rows) == serial_rows &&
+                        source.meter() == serial_meter;
+      point.speedup = scaling.points.front().wall_ms / point.wall_ms;
+    }
+    scaling.points.push_back(point);
+  }
+  return scaling;
+}
+
+int Run() {
+  UniversityConfig config;
+  config.num_students = 120;
+  config.num_documents = 1500;
+  auto workload = BuildUniversity(config);
+  TEXTJOIN_CHECK(workload.ok(), "%s", workload.status().ToString().c_str());
+  // A small term limit M forces SJ into several OR-batches (paper Section
+  // 3.2), giving its search phase something to overlap too.
+  workload->engine->set_max_search_terms(16);
+
+  // Per-operation server latency: round trips dominate remote sources.
+  SimulatedLatency latency;
+  latency.search = std::chrono::microseconds(5000);
+  latency.fetch = std::chrono::microseconds(2000);
+
+  // TS: one search (plus fetches) per distinct author name.
+  auto ts_query = ParseQuery(
+      "select student.name, mercury.docid from student, mercury "
+      "where student.name in mercury.author",
+      workload->text);
+  TEXTJOIN_CHECK(ts_query.ok(), "%s", ts_query.status().ToString().c_str());
+  auto ts_join = bench::PrepareSingleJoin(*ts_query, *workload->catalog);
+  TEXTJOIN_CHECK(ts_join.ok(), "%s", ts_join.status().ToString().c_str());
+
+  // SJ: doc-side projection (semi-join); batched searches + long fetches.
+  auto sj_query = ParseQuery(
+      "select mercury.docid, mercury.title from student, mercury "
+      "where student.name in mercury.author",
+      workload->text);
+  TEXTJOIN_CHECK(sj_query.ok(), "%s", sj_query.status().ToString().c_str());
+  auto sj_join = bench::PrepareSingleJoin(*sj_query, *workload->catalog);
+  TEXTJOIN_CHECK(sj_join.ok(), "%s", sj_join.status().ToString().c_str());
+
+  bench::PrintHeader(
+      "Parallel scaling: wall-clock speedup vs parallelism\n"
+      "(simulated latency: search=5ms fetch=2ms; results and meters must\n"
+      "be byte-identical to serial at every point)");
+
+  const std::vector<std::pair<JoinMethodKind, const bench::PreparedJoin*>>
+      cases = {{JoinMethodKind::kTS, &*ts_join},
+               {JoinMethodKind::kSJ, &*sj_join}};
+  bool pass = true;
+  for (const auto& [method, join] : cases) {
+    MethodScaling scaling = Measure(method, *join, *workload->engine, latency);
+    for (const Point& point : scaling.points) {
+      std::printf("{\"bench\": \"parallel_scaling\", \"method\": \"%s\", "
+                  "\"parallelism\": %d, \"wall_ms\": %.1f, "
+                  "\"speedup\": %.2f, \"identical\": %s}\n",
+                  scaling.name, point.parallelism, point.wall_ms,
+                  point.speedup, point.identical ? "true" : "false");
+      if (!point.identical) pass = false;
+    }
+    if (scaling.points.back().speedup < 2.5) pass = false;
+  }
+
+  std::printf("\nshape check (>=2.5x speedup at 8 threads for TS and SJ, "
+              "byte-identical rows+meters): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace textjoin
+
+int main() { return textjoin::Run(); }

@@ -1,18 +1,16 @@
-// Quickstart: stand up a database + external text source, register
-// statistics, and run a federated SQL query end to end.
+// Quickstart: stand up a database + external text source and run a
+// federated SQL query end to end through the FederationService session
+// API.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the whole public API surface: workload generation, SQL
-// parsing, statistics, optimization (EXPLAIN), execution, and the access
-// meter that implements the paper's cost accounting.
+// Each Run() call returns a self-contained QueryOutcome: the rows, the
+// chosen plan, a per-node execution profile, and the access-meter delta of
+// exactly that query — the paper's cost accounting, per call.
 
 #include <cstdio>
 
-#include "connector/remote_text_source.h"
-#include "core/enumerator.h"
-#include "core/executor.h"
-#include "core/statistics.h"
+#include "sql/federation_service.h"
 #include "sql/parser.h"
 #include "workload/university.h"
 
@@ -31,65 +29,49 @@ int Run() {
                  workload.status().ToString().c_str());
     return 1;
   }
-  RemoteTextSource source(workload->engine.get());
 
-  // 2. Parse a federated query: a join between the student relation and
-  // the external 'mercury' text source.
+  // 2. Stand up the federation. Options declare how the engine appears as
+  // a relation, and how many text-source operations may be in flight at
+  // once (parallelism changes wall-clock time only — results and meter
+  // totals are identical to serial execution).
+  FederationService::Options options;
+  options.text = workload->text;
+  options.parallelism = 4;
+  FederationService service(workload->catalog.get(), workload->engine.get(),
+                            options);
+
+  // 3. Run a federated query: a join between the student relation and the
+  // external 'mercury' text source.
   const std::string sql =
       "select student.name, student.advisor, mercury.docid, mercury.title "
       "from student, mercury "
       "where student.year > 3 "
       "and 'query optimization' in mercury.title "
       "and student.name in mercury.author";
-  Result<FederatedQuery> query = ParseQuery(sql, workload->text);
-  if (!query.ok()) {
-    std::fprintf(stderr, "parse: %s\n", query.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("Query:\n  %s\n\n", query->ToString().c_str());
-
-  // 3. Gather the statistics the optimizer needs (oracle mode here; see
-  // connector/sampler.h for the sampling path).
-  StatsRegistry registry;
-  Status stats = ComputeExactStats(*query, *workload->catalog,
-                                   *workload->engine, registry);
-  if (!stats.ok()) {
-    std::fprintf(stderr, "stats: %s\n", stats.ToString().c_str());
+  Result<QueryOutcome> outcome = service.Run(sql);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "run: %s\n", outcome.status().ToString().c_str());
     return 1;
   }
 
-  // 4. Optimize. The enumerator picks a join method (TS / RTP / SJ+RTP /
-  // P+TS / P+RTP) and, for probing methods, the probe columns.
-  Enumerator enumerator(workload->catalog.get(), &registry,
-                        workload->engine->num_documents(),
-                        workload->engine->max_search_terms(),
-                        EnumeratorOptions{});
-  Result<PlanNodePtr> plan = enumerator.Optimize(*query);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "optimize: %s\n", plan.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("Plan:\n%s\n", (*plan)->ToString(*query).c_str());
+  // 4. The outcome carries the plan the optimizer chose (TS / RTP /
+  // SJ+RTP / P+TS / P+RTP, plus probe columns for probing methods)...
+  std::printf("Plan:\n%s\n", outcome->chosen_plan.c_str());
 
-  // 5. Execute and print the result rows.
-  PlanExecutor executor(workload->catalog.get(), &source);
-  Result<ExecutionResult> result = executor.Execute(**plan, *query);
-  if (!result.ok()) {
-    std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("Results (%zu rows):\n", result->rows.size());
-  for (const Row& row : result->rows) {
+  // 5. ...the result rows...
+  std::printf("Results (%zu rows):\n", outcome->rows.rows.size());
+  for (const Row& row : outcome->rows.rows) {
     std::printf("  %s\n", RowToString(row).c_str());
   }
 
-  // 6. What did it cost? The meter counted every server interaction; the
-  // simulated seconds use the paper's calibrated constants.
+  // 6. ...and what exactly this call cost: the meter counted every server
+  // interaction; the simulated seconds use the paper's calibrated
+  // constants.
   const CostParams params;
-  std::printf("\nAccess meter: %s\n", source.meter().ToString().c_str());
+  std::printf("\nAccess meter: %s\n", outcome->meter_delta.ToString().c_str());
   std::printf("Simulated execution time: %.2f s (c_i=%.0f c_p=%.0e "
               "c_s=%.3f c_l=%.0f)\n",
-              source.meter().SimulatedSeconds(params), params.invocation,
+              outcome->meter_delta.SimulatedSeconds(params), params.invocation,
               params.per_posting, params.short_form, params.long_form);
   return 0;
 }

@@ -55,7 +55,15 @@ class Shell {
   explicit Shell(UniversityWorkload workload)
       : workload_(std::move(workload)),
         service_(workload_.catalog.get(), workload_.engine.get(),
-                 workload_.text) {}
+                 MakeOptions(workload_)) {}
+
+  static FederationService::Options MakeOptions(
+      const UniversityWorkload& workload) {
+    FederationService::Options options;
+    options.text = workload.text;
+    options.parallelism = 4;
+    return options;
+  }
 
   void HandleLine(const std::string& raw) {
     const std::string line = std::string(Trim(raw));
@@ -105,12 +113,16 @@ class Shell {
                   "\\meter \\demo \\quit\n");
       return;
     }
-    auto result = service_.Query(line);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+    auto outcome = service_.Run(line);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
       return;
     }
-    PrintResult(*result);
+    PrintResult(outcome->rows);
+    const CostParams params;
+    std::printf("cost: %.2f simulated seconds [%s]\n",
+                outcome->meter_delta.SimulatedSeconds(params),
+                outcome->meter_delta.ToString().c_str());
   }
 
   bool done() const { return done_; }
@@ -140,39 +152,22 @@ class Shell {
 
  private:
   void Analyze(const std::string& sql) {
-    // Re-run the full pipeline with a profile; the service's Explain path
-    // doesn't execute, so drive the lower-level API here.
+    // Every Run() already carries the per-node profile and the plan it
+    // belongs to; rendering EXPLAIN ANALYZE just needs the parsed query.
     auto query = ParseQuery(sql, workload_.text);
     if (!query.ok()) {
       std::printf("error: %s\n", query.status().ToString().c_str());
       return;
     }
-    StatsRegistry registry;
-    Status st = ComputeExactStats(*query, *workload_.catalog,
-                                  *workload_.engine, registry);
-    if (!st.ok()) {
-      std::printf("error: %s\n", st.ToString().c_str());
+    auto outcome = service_.Run(sql);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
       return;
     }
-    Enumerator enumerator(workload_.catalog.get(), &registry,
-                          workload_.engine->num_documents(),
-                          workload_.engine->max_search_terms(),
-                          EnumeratorOptions{});
-    auto plan = enumerator.Optimize(*query);
-    if (!plan.ok()) {
-      std::printf("error: %s\n", plan.status().ToString().c_str());
-      return;
-    }
-    RemoteTextSource source(workload_.engine.get());
-    PlanExecutor executor(workload_.catalog.get(), &source);
-    ExecutionProfile profile;
-    auto result = executor.Execute(**plan, *query, &profile);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      return;
-    }
-    std::printf("%s", ExplainAnalyze(**plan, *query, profile).c_str());
-    PrintResult(*result);
+    std::printf("%s",
+                ExplainAnalyze(*outcome->plan, *query, outcome->profile)
+                    .c_str());
+    PrintResult(outcome->rows);
   }
 
   UniversityWorkload workload_;

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace textjoin {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(num_threads > 0 ? static_cast<size_t>(num_threads) : 0);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor: indices are claimed atomically, and the
+/// caller waits until every claimed index has completed.
+struct LoopState {
+  explicit LoopState(size_t n) : n(n) {}
+  const size_t n;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+};
+
+/// Claims and runs indices until none remain; returns how many it ran.
+void DrainLoop(LoopState& state, const std::function<void(size_t)>& fn) {
+  size_t ran = 0;
+  for (;;) {
+    const size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.n) break;
+    fn(i);
+    ++ran;
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.completed += ran;
+  if (state.completed == state.n) state.done_cv.notify_all();
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t helpers =
+      pool == nullptr
+          ? 0
+          : std::min(n - 1, static_cast<size_t>(pool->num_threads()));
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<LoopState>(n);
+  for (size_t h = 0; h < helpers; ++h) {
+    // fn copied: a helper may dequeue after the loop already completed and
+    // the caller's fn went out of scope.
+    pool->Run([state, fn] { DrainLoop(*state, fn); });
+  }
+  DrainLoop(*state, fn);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->completed == state->n; });
+}
+
+}  // namespace textjoin

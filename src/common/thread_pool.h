@@ -1,0 +1,59 @@
+#ifndef TEXTJOIN_COMMON_THREAD_POOL_H_
+#define TEXTJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size thread pool for overlapping independent external
+/// text-source round-trips (searches, document fetches). Deliberately
+/// work-stealing-free: ParallelFor callers participate in their own loop,
+/// so concurrent loops sharing one pool always make progress even when
+/// every worker is busy elsewhere.
+
+namespace textjoin {
+
+/// Fixed set of worker threads draining one FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: every ParallelFor then
+  /// runs entirely on the calling thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Tasks must not block on
+  /// other pool tasks (ParallelFor's helpers never do).
+  void Run(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(0) .. fn(n-1)`, concurrently when `pool` is non-null, and
+/// returns when every call has finished. The calling thread participates,
+/// so the loop completes even with a saturated (or null / empty) pool.
+/// Iteration order is unspecified; callers that need deterministic output
+/// must write into per-index slots and assemble serially afterwards.
+/// `fn` must not throw.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_THREAD_POOL_H_

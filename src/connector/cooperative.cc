@@ -9,7 +9,7 @@ namespace textjoin {
 
 Result<std::vector<std::vector<std::string>>>
 CooperativeTextSource::SearchBatch(
-    const std::vector<const TextQuery*>& queries) {
+    const std::vector<const TextQuery*>& queries) const {
   if (queries.empty()) {
     return Status::InvalidArgument("empty search batch");
   }
@@ -20,15 +20,16 @@ CooperativeTextSource::SearchBatch(
         std::to_string(max_batch_));
   }
   // One connection for the whole batch.
-  meter().invocations += 1;
+  AtomicAccessMeter& meter = inner_.charging_meter();
+  meter.ChargeInvocation();
   std::vector<std::vector<std::string>> answers;
   answers.reserve(queries.size());
   for (const TextQuery* query : queries) {
     TEXTJOIN_CHECK(query != nullptr, "null query in batch");
     Result<EngineSearchResult> result = engine_->Search(*query);
     if (!result.ok()) return result.status();
-    meter().postings_processed += result->postings_processed;
-    meter().short_docs += result->docs.size();
+    meter.ChargePostings(result->postings_processed);
+    meter.ChargeShortDocs(result->docs.size());
     std::vector<std::string> docids;
     docids.reserve(result->docs.size());
     for (DocNum num : result->docs) {
@@ -40,7 +41,7 @@ CooperativeTextSource::SearchBatch(
 }
 
 Result<std::vector<size_t>> CooperativeTextSource::LookupFrequencies(
-    const std::string& field, const std::vector<std::string>& terms) {
+    const std::string& field, const std::vector<std::string>& terms) const {
   if (terms.empty()) {
     return Status::InvalidArgument("empty frequency lookup");
   }
@@ -51,8 +52,8 @@ Result<std::vector<size_t>> CooperativeTextSource::LookupFrequencies(
   }
   // Dictionary lookups: one connection, one short-form unit per answer,
   // zero posting-list scans.
-  meter().invocations += 1;
-  meter().short_docs += terms.size();
+  inner_.charging_meter().ChargeInvocation();
+  inner_.charging_meter().ChargeShortDocs(terms.size());
   std::vector<size_t> frequencies;
   frequencies.reserve(terms.size());
   for (const std::string& term : terms) {
@@ -71,8 +72,8 @@ Result<std::vector<size_t>> CooperativeTextSource::LookupFrequencies(
 }
 
 Result<FieldStatistics> CooperativeTextSource::GetFieldStatistics(
-    const std::string& field) {
-  meter().invocations += 1;
+    const std::string& field) const {
+  inner_.charging_meter().ChargeInvocation();
   FieldStatistics stats;
   stats.vocabulary_size = engine_->index().VocabularySize(field);
   stats.total_postings = engine_->index().TotalPostings();

@@ -49,10 +49,11 @@ class CooperativeTextSource final : public TextSource {
       : engine_(engine), inner_(engine), max_batch_(max_batch) {}
 
   // --- plain loose-integration surface (delegates, fully metered) ---
-  Result<std::vector<std::string>> Search(const TextQuery& query) override {
+  Result<std::vector<std::string>> Search(
+      const TextQuery& query) const override {
     return inner_.Search(query);
   }
-  Result<Document> Fetch(const std::string& docid) override {
+  Result<Document> Fetch(const std::string& docid) const override {
     return inner_.Fetch(docid);
   }
   size_t max_search_terms() const override {
@@ -70,7 +71,7 @@ class CooperativeTextSource final : public TextSource {
   /// transmission per result, preserving query-answer correspondence.
   /// Fails (whole batch) if any query exceeds the term limit.
   Result<std::vector<std::vector<std::string>>> SearchBatch(
-      const std::vector<const TextQuery*>& queries);
+      const std::vector<const TextQuery*>& queries) const;
 
   // --- extension 2: vocabulary statistics ---
 
@@ -79,13 +80,13 @@ class CooperativeTextSource final : public TextSource {
   /// posting scans. Multi-token (phrase) terms report the minimum of their
   /// tokens' frequencies — an upper bound the dictionary can provide.
   Result<std::vector<size_t>> LookupFrequencies(
-      const std::string& field, const std::vector<std::string>& terms);
+      const std::string& field, const std::vector<std::string>& terms) const;
 
   /// Field-level vocabulary summary (one invocation).
-  Result<FieldStatistics> GetFieldStatistics(const std::string& field);
+  Result<FieldStatistics> GetFieldStatistics(const std::string& field) const;
 
-  AccessMeter& meter() { return inner_.meter(); }
-  const AccessMeter& meter() const { return inner_.meter(); }
+  /// Value snapshot of the inner source's meter.
+  AccessMeter meter() const { return inner_.meter(); }
   void ResetMeter() { inner_.ResetMeter(); }
   RemoteTextSource& inner() { return inner_; }
 

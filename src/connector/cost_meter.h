@@ -1,6 +1,7 @@
 #ifndef TEXTJOIN_CONNECTOR_COST_METER_H_
 #define TEXTJOIN_CONNECTOR_COST_METER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -60,6 +61,89 @@ struct AccessMeter {
 
   /// Renders "inv=12 post=3456 short=78 long=9 rmatch=0" for logs/benches.
   std::string ToString() const;
+};
+
+inline bool operator==(const AccessMeter& a, const AccessMeter& b) {
+  return a.invocations == b.invocations &&
+         a.postings_processed == b.postings_processed &&
+         a.short_docs == b.short_docs && a.long_docs == b.long_docs &&
+         a.relational_matches == b.relational_matches;
+}
+inline bool operator!=(const AccessMeter& a, const AccessMeter& b) {
+  return !(a == b);
+}
+
+/// The concurrency-safe charging sink behind RemoteTextSource: relaxed
+/// atomic counters, charged from any number of threads. Counter sums are
+/// commutative, so totals are byte-identical to a serial execution that
+/// performs the same operations — the property the paper's cost accounting
+/// (and our byte-identical-meter acceptance tests) rely on.
+class AtomicAccessMeter {
+ public:
+  AtomicAccessMeter() = default;
+
+  /// Adds a whole delta (e.g. folding one query's charges into a
+  /// cumulative meter).
+  void Add(const AccessMeter& delta) {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    invocations_.fetch_add(delta.invocations, kRelaxed);
+    postings_processed_.fetch_add(delta.postings_processed, kRelaxed);
+    short_docs_.fetch_add(delta.short_docs, kRelaxed);
+    long_docs_.fetch_add(delta.long_docs, kRelaxed);
+    relational_matches_.fetch_add(delta.relational_matches, kRelaxed);
+  }
+
+  /// One search: an invocation + postings scanned + short-form results.
+  void ChargeSearch(uint64_t postings, uint64_t results) {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    invocations_.fetch_add(1, kRelaxed);
+    postings_processed_.fetch_add(postings, kRelaxed);
+    short_docs_.fetch_add(results, kRelaxed);
+  }
+
+  void ChargeInvocation() {
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ChargePostings(uint64_t n) {
+    postings_processed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ChargeShortDocs(uint64_t n) {
+    short_docs_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void ChargeLongDoc() { long_docs_.fetch_add(1, std::memory_order_relaxed); }
+  void ChargeRelationalMatches(uint64_t n) {
+    relational_matches_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// A value snapshot. Consistent (not torn across fields) only once the
+  /// operations being counted have completed — which holds everywhere we
+  /// snapshot: after a query, after a join method joined its ParallelFor.
+  AccessMeter Snapshot() const {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    AccessMeter m;
+    m.invocations = invocations_.load(kRelaxed);
+    m.postings_processed = postings_processed_.load(kRelaxed);
+    m.short_docs = short_docs_.load(kRelaxed);
+    m.long_docs = long_docs_.load(kRelaxed);
+    m.relational_matches = relational_matches_.load(kRelaxed);
+    return m;
+  }
+
+  void Reset() {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    invocations_.store(0, kRelaxed);
+    postings_processed_.store(0, kRelaxed);
+    short_docs_.store(0, kRelaxed);
+    long_docs_.store(0, kRelaxed);
+    relational_matches_.store(0, kRelaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> invocations_{0};
+  std::atomic<uint64_t> postings_processed_{0};
+  std::atomic<uint64_t> short_docs_{0};
+  std::atomic<uint64_t> long_docs_{0};
+  std::atomic<uint64_t> relational_matches_{0};
 };
 
 }  // namespace textjoin

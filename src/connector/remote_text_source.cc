@@ -1,14 +1,16 @@
 #include "connector/remote_text_source.h"
 
+#include <thread>
+
 namespace textjoin {
 
 Result<std::vector<std::string>> RemoteTextSource::Search(
-    const TextQuery& query) {
+    const TextQuery& query) const {
+  if (latency_.search.count() > 0) std::this_thread::sleep_for(latency_.search);
   Result<EngineSearchResult> result = engine_->Search(query);
   if (!result.ok()) return result.status();
-  active_meter_->invocations += 1;
-  active_meter_->postings_processed += result->postings_processed;
-  active_meter_->short_docs += result->docs.size();
+  charging_meter().ChargeSearch(result->postings_processed,
+                                result->docs.size());
   std::vector<std::string> docids;
   docids.reserve(result->docs.size());
   for (DocNum num : result->docs) {
@@ -17,10 +19,11 @@ Result<std::vector<std::string>> RemoteTextSource::Search(
   return docids;
 }
 
-Result<Document> RemoteTextSource::Fetch(const std::string& docid) {
+Result<Document> RemoteTextSource::Fetch(const std::string& docid) const {
+  if (latency_.fetch.count() > 0) std::this_thread::sleep_for(latency_.fetch);
   Result<DocNum> num = engine_->FindDocid(docid);
   if (!num.ok()) return num.status();
-  active_meter_->long_docs += 1;
+  charging_meter().ChargeLongDoc();
   return engine_->GetDocument(*num);
 }
 

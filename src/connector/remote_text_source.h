@@ -1,6 +1,8 @@
 #ifndef TEXTJOIN_CONNECTOR_REMOTE_TEXT_SOURCE_H_
 #define TEXTJOIN_CONNECTOR_REMOTE_TEXT_SOURCE_H_
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -14,58 +16,96 @@
 
 namespace textjoin {
 
+/// Optional per-operation wall-clock delay, for benchmarks that want the
+/// remote round-trip to take real time (the paper's setting: every search
+/// or retrieval is a network exchange with a distant server). Zero (the
+/// default) adds no delay and changes nothing else; the meter counts are
+/// identical either way.
+struct SimulatedLatency {
+  std::chrono::microseconds search{0};  ///< Slept inside each Search call.
+  std::chrono::microseconds fetch{0};   ///< Slept inside each Fetch call.
+};
+
 /// Wraps a SearchableCorpus (in-memory TextEngine or on-disk
 /// DiskTextEngine) as an external source and meters every access:
 /// Search charges one invocation, the postings the engine scanned, and one
 /// short-form transmission per result docid; Fetch charges one long-form
 /// transmission (the paper calibrated the long-form constant to include the
 /// per-retrieval connection).
+///
+/// Thread safety: Search/Fetch are const and safe to call concurrently —
+/// charges go through relaxed atomics, so concurrent executions produce
+/// meter totals byte-identical to the same operations run serially. The
+/// corpus must itself be safe for concurrent const access (TextEngine is;
+/// DiskTextEngine shares one file handle and is not — keep parallelism=1
+/// over disk corpora). SetMeter/ResetMeter are configuration, not data-path
+/// calls: do not race them against in-flight searches.
 class RemoteTextSource final : public TextSource {
  public:
   /// `engine` must outlive this object.
   explicit RemoteTextSource(const SearchableCorpus* engine)
       : engine_(engine) {}
 
-  Result<std::vector<std::string>> Search(const TextQuery& query) override;
-  Result<Document> Fetch(const std::string& docid) override;
+  Result<std::vector<std::string>> Search(
+      const TextQuery& query) const override;
+  Result<Document> Fetch(const std::string& docid) const override;
   size_t max_search_terms() const override {
     return engine_->max_search_terms();
   }
   size_t num_documents() const override { return engine_->num_documents(); }
 
-  /// The meter currently being charged.
-  AccessMeter& meter() { return *active_meter_; }
-  const AccessMeter& meter() const { return *active_meter_; }
+  /// A value snapshot of the meter currently being charged.
+  AccessMeter meter() const {
+    return active_meter_.load(std::memory_order_acquire)->Snapshot();
+  }
+
+  /// The underlying charging sink (e.g. to Add() externally tracked costs
+  /// such as relational-side string matching).
+  AtomicAccessMeter& charging_meter() const {
+    return *active_meter_.load(std::memory_order_acquire);
+  }
 
   /// Redirects charging to `meter` (e.g. to a separate statistics meter
   /// during sampling, whose cost the paper amortizes across queries).
   /// Passing nullptr restores the internal meter.
-  void SetMeter(AccessMeter* meter) {
-    active_meter_ = meter != nullptr ? meter : &own_meter_;
+  void SetMeter(AtomicAccessMeter* meter) {
+    active_meter_.store(meter != nullptr ? meter : &own_meter_,
+                        std::memory_order_release);
   }
 
   /// Resets the internal meter (does not touch a redirected meter).
   void ResetMeter() { own_meter_.Reset(); }
 
+  /// Installs a wall-clock delay per operation (benchmarking aid).
+  void set_simulated_latency(SimulatedLatency latency) { latency_ = latency; }
+
  private:
   const SearchableCorpus* engine_;
-  AccessMeter own_meter_;
-  AccessMeter* active_meter_ = &own_meter_;
+  mutable AtomicAccessMeter own_meter_;
+  mutable std::atomic<AtomicAccessMeter*> active_meter_{&own_meter_};
+  SimulatedLatency latency_;
 };
 
-/// RAII guard that redirects a RemoteTextSource's charges for a scope.
+/// RAII guard that redirects a RemoteTextSource's charges for a scope and
+/// flushes them into a plain AccessMeter on exit (so callers keep working
+/// with value-type meters).
 class ScopedMeter {
  public:
   ScopedMeter(RemoteTextSource& source, AccessMeter* meter)
-      : source_(source) {
-    source_.SetMeter(meter);
+      : source_(source), target_(meter) {
+    source_.SetMeter(&scope_meter_);
   }
-  ~ScopedMeter() { source_.SetMeter(nullptr); }
+  ~ScopedMeter() {
+    source_.SetMeter(nullptr);
+    if (target_ != nullptr) *target_ += scope_meter_.Snapshot();
+  }
   ScopedMeter(const ScopedMeter&) = delete;
   ScopedMeter& operator=(const ScopedMeter&) = delete;
 
  private:
   RemoteTextSource& source_;
+  AccessMeter* target_;
+  AtomicAccessMeter scope_meter_;
 };
 
 }  // namespace textjoin

@@ -18,6 +18,11 @@ namespace textjoin {
 
 /// Abstract external text source. All join methods in src/core are written
 /// against this interface; they never touch the engine directly.
+///
+/// Search and Fetch are const and must be safe to call concurrently from
+/// multiple threads: the parallel foreign-join engine overlaps many
+/// independent round-trips against one source. Implementations keep any
+/// internal accounting (meters, failure injection) in atomics.
 class TextSource {
  public:
   virtual ~TextSource() = default;
@@ -25,10 +30,11 @@ class TextSource {
   /// Evaluates a Boolean search and returns the short-form result set: the
   /// docids of matching documents. Fails with ResourceExhausted when the
   /// query exceeds max_search_terms() basic terms.
-  virtual Result<std::vector<std::string>> Search(const TextQuery& query) = 0;
+  virtual Result<std::vector<std::string>> Search(
+      const TextQuery& query) const = 0;
 
   /// Retrieves the long form (all fields) of one document by docid.
-  virtual Result<Document> Fetch(const std::string& docid) = 0;
+  virtual Result<Document> Fetch(const std::string& docid) const = 0;
 
   /// The per-search term limit M (70 for Mercury).
   virtual size_t max_search_terms() const = 0;

@@ -100,7 +100,7 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       TEXTJOIN_ASSIGN_OR_RETURN(
           std::vector<Row> survivors,
           ProbeSemiJoinReduce(spec, child.rows, *source_,
-                              FullMask(spec.joins.size())));
+                              FullMask(spec.joins.size()), pool_));
       if (profile != nullptr) {
         profile->nodes[&node].meter_delta =
             MeterDelta(MeterSnapshot(source_), before);
@@ -118,7 +118,7 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       TEXTJOIN_ASSIGN_OR_RETURN(
           ForeignJoinResult joined,
           ExecuteForeignJoin(node.method.method, spec, child.rows, *source_,
-                             node.method.probe_mask));
+                             node.method.probe_mask, pool_));
       if (profile != nullptr) {
         profile->nodes[&node].meter_delta =
             MeterDelta(MeterSnapshot(source_), before);
@@ -331,7 +331,10 @@ Result<ExecutionResult> PlanExecutor::Execute(const PlanNode& root,
       }
     }
     if (query.has_text_relation) {
-      for (const Column& col : query.text.ToSchema().columns()) {
+      // Named so the Schema outlives the loop (a temporary would be
+      // destroyed before the range-for body runs, pre-C++23).
+      const Schema text_schema = query.text.ToSchema();
+      for (const Column& col : text_schema.columns()) {
         output_refs.push_back(query.text.alias + "." + col.name);
       }
     }

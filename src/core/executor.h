@@ -2,10 +2,12 @@
 #define TEXTJOIN_CORE_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "connector/text_source.h"
 #include "core/federated_query.h"
 #include "core/plan.h"
@@ -38,15 +40,35 @@ std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
                            const ExecutionProfile& profile,
                            const CostParams& params = CostParams{});
 
+/// Knobs controlling how a plan executes. `parallelism` is the number of
+/// concurrent text-source operations a foreign-join / probe node may have
+/// in flight; 1 means fully serial execution. Parallel execution produces
+/// byte-identical results AND meter totals to serial execution (see
+/// DESIGN.md, "Concurrency model") — it only changes wall-clock time.
+struct ExecutorOptions {
+  int parallelism = 1;
+};
+
 /// Walks a plan tree bottom-up, running scans/filters/joins with the
 /// relational operators, probe nodes with ProbeSemiJoinReduce, and the
 /// foreign-join node with the plan's chosen method. The final projection
 /// (the query's SELECT list) is applied on top.
 class PlanExecutor {
  public:
-  /// All pointers must outlive the executor.
-  PlanExecutor(const Catalog* catalog, TextSource* source)
-      : catalog_(catalog), source_(source) {}
+  /// All pointers must outlive the executor. When `options.parallelism > 1`
+  /// and `pool` is null, the executor owns a pool of `parallelism - 1`
+  /// helper threads (the calling thread participates in every parallel
+  /// loop). A caller-provided `pool` is shared, not owned — this lets one
+  /// service run many executors over one set of threads.
+  explicit PlanExecutor(const Catalog* catalog, TextSource* source,
+                        ExecutorOptions options = {},
+                        ThreadPool* pool = nullptr)
+      : catalog_(catalog), source_(source), options_(options), pool_(pool) {
+    if (pool_ == nullptr && options_.parallelism > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
+      pool_ = owned_pool_.get();
+    }
+  }
 
   /// Executes `root` for `query` and applies the query's projection.
   /// When `profile` is non-null, records per-node actual rows and meter
@@ -72,6 +94,9 @@ class PlanExecutor {
 
   const Catalog* catalog_;
   TextSource* source_;
+  ExecutorOptions options_;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 /// Reference evaluation: executes `query` by brute force (cross product of

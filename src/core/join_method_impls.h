@@ -7,45 +7,52 @@
 
 /// \file
 /// Per-method entry points, dispatched by ExecuteForeignJoin. Internal.
+/// Every method accepts an optional ThreadPool; null means serial. All
+/// parallel variants produce byte-identical results and meter totals to
+/// serial execution (see join_methods.h).
 
 namespace textjoin::internal {
 
 /// Section 3.1 — tuple substitution, one search per distinct combination of
-/// the join columns.
+/// the join columns. Parallel across combinations.
 Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source);
+                                    TextSource& source, ThreadPool* pool);
 
 /// Section 3.2 — relational text processing: one selections-only search,
-/// fetch the matches, join them in SQL.
+/// fetch the matches, join them in SQL. Parallel across document fetches.
 Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
-                                     TextSource& source);
+                                     TextSource& source, ThreadPool* pool);
 
 /// Section 3.2 — semi-join: OR-batched disjuncts under the term limit M;
-/// doc-side semi-join output (docids).
+/// doc-side semi-join output (docids). Batches are issued concurrently.
 Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source);
+                                    TextSource& source, ThreadPool* pool);
 
 /// Section 3.2 — semi-join then relational text processing to recover the
 /// (tuple, document) pairing for general (non-semi-join) queries.
 Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
                                        const std::vector<Row>& left_rows,
-                                       TextSource& source);
+                                       TextSource& source, ThreadPool* pool);
 
 /// Section 3.3 — probing + tuple substitution, with the probe cache and
-/// send-probe-only-after-failure policy of the paper's algorithm.
+/// send-probe-only-after-failure policy of the paper's algorithm. The
+/// search/probe sequence stays serial (the cache's skip decisions depend on
+/// earlier outcomes); document fetches overlap.
 Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
-                                     TextSource& source, PredicateMask mask);
+                                     TextSource& source, PredicateMask mask,
+                                     ThreadPool* pool);
 
 /// Section 3.3 — probing + relational text processing: fetch the documents
 /// matched by the successful probes, then match the remaining predicates in
-/// SQL.
+/// SQL. Probes and fetches each overlap.
 Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
                                       const std::vector<Row>& left_rows,
-                                      TextSource& source, PredicateMask mask);
+                                      TextSource& source, PredicateMask mask,
+                                      ThreadPool* pool);
 
 }  // namespace textjoin::internal
 

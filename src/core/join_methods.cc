@@ -27,7 +27,8 @@ Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
                                              const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
-                                             PredicateMask probe_mask) {
+                                             PredicateMask probe_mask,
+                                             ThreadPool* pool) {
   TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
                             internal::ResolveSpec(spec));
   const bool is_probe_method = method == JoinMethodKind::kPTS ||
@@ -39,17 +40,17 @@ Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
   }
   switch (method) {
     case JoinMethodKind::kTS:
-      return internal::ExecuteTS(rspec, left_rows, source);
+      return internal::ExecuteTS(rspec, left_rows, source, pool);
     case JoinMethodKind::kRTP:
-      return internal::ExecuteRTP(rspec, left_rows, source);
+      return internal::ExecuteRTP(rspec, left_rows, source, pool);
     case JoinMethodKind::kSJ:
-      return internal::ExecuteSJ(rspec, left_rows, source);
+      return internal::ExecuteSJ(rspec, left_rows, source, pool);
     case JoinMethodKind::kSJRTP:
-      return internal::ExecuteSJRTP(rspec, left_rows, source);
+      return internal::ExecuteSJRTP(rspec, left_rows, source, pool);
     case JoinMethodKind::kPTS:
-      return internal::ExecutePTS(rspec, left_rows, source, probe_mask);
+      return internal::ExecutePTS(rspec, left_rows, source, probe_mask, pool);
     case JoinMethodKind::kPRTP:
-      return internal::ExecutePRTP(rspec, left_rows, source, probe_mask);
+      return internal::ExecutePRTP(rspec, left_rows, source, probe_mask, pool);
   }
   TEXTJOIN_UNREACHABLE("bad JoinMethodKind");
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "connector/text_source.h"
 #include "core/cost_model.h"
 #include "core/federated_query.h"
@@ -63,6 +64,15 @@ struct ForeignJoinResult {
 /// the probe columns for kPTS / kPRTP (bit i = i-th entry of spec.joins)
 /// and must be 0 for the other methods.
 ///
+/// When `pool` is non-null, the independent text-source round-trips of the
+/// method (per-combination searches, OR-batches, document fetches) are
+/// overlapped across its threads. Output row order and meter totals are
+/// identical to serial execution: parallel phases write into per-index
+/// slots that are assembled in deterministic order, and every method
+/// issues the same set of operations regardless of parallelism (P+TS keeps
+/// its probe-cache-ordered search sequence serial and overlaps only the
+/// fetches).
+///
 /// Fails with InvalidArgument when the method is inapplicable:
 ///  - kRTP / kSJRTP / kPRTP and kSJ/kTS variants require what the paper
 ///    requires (RTP-family needs text selections for its initial search
@@ -71,16 +81,20 @@ Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
                                              const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
-                                             PredicateMask probe_mask = 0);
+                                             PredicateMask probe_mask = 0,
+                                             ThreadPool* pool = nullptr);
 
 /// The probe used as a semi-join reducer (Section 6, "Probe as a
 /// Semi-join"): sends one probe per distinct combination of the probe
 /// columns and returns the input rows whose combination matched at least
 /// one document. Never changes the final query answer, only the sizes.
+/// Probes for distinct combinations are independent and overlap across
+/// `pool` when non-null.
 Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
-                                             PredicateMask probe_mask);
+                                             PredicateMask probe_mask,
+                                             ThreadPool* pool = nullptr);
 
 }  // namespace textjoin
 

@@ -152,8 +152,60 @@ Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask) {
 
 void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned) {
   if (auto* remote = dynamic_cast<RemoteTextSource*>(&source)) {
-    remote->meter().relational_matches += docs_scanned;
+    remote->charging_meter().ChargeRelationalMatches(docs_scanned);
   }
+}
+
+Status ParallelStatusFor(ThreadPool* pool, size_t n,
+                         const std::function<Status(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() == 0 || n <= 1) {
+    // Serial fast path — but still run every index before failing, so the
+    // meter is independent of where an error occurred relative to the
+    // parallel path.
+    Status first = Status::OK();
+    for (size_t i = 0; i < n; ++i) {
+      Status s = fn(i);
+      if (first.ok() && !s.ok()) first = std::move(s);
+    }
+    return first;
+  }
+  std::vector<Status> statuses(n, Status::OK());
+  ParallelFor(pool, n, [&](size_t i) { statuses[i] = fn(i); });
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Document>> FetchDocs(const std::vector<std::string>& docids,
+                                        TextSource& source, ThreadPool* pool) {
+  std::vector<Document> docs(docids.size());
+  TEXTJOIN_RETURN_IF_ERROR(
+      ParallelStatusFor(pool, docids.size(), [&](size_t i) -> Status {
+        TEXTJOIN_ASSIGN_OR_RETURN(docs[i], source.Fetch(docids[i]));
+        return Status::OK();
+      }));
+  return docs;
+}
+
+Result<std::vector<Row>> FetchDocRows(const ResolvedSpec& rspec,
+                                      const std::vector<std::string>& docids,
+                                      TextSource& source, ThreadPool* pool) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  std::vector<Row> doc_rows(docids.size());
+  if (!spec.need_document_fields) {
+    for (size_t i = 0; i < docids.size(); ++i) {
+      doc_rows[i] = DocidOnlyRow(spec.text, docids[i]);
+    }
+    return doc_rows;
+  }
+  TEXTJOIN_RETURN_IF_ERROR(
+      ParallelStatusFor(pool, docids.size(), [&](size_t i) -> Status {
+        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docids[i]));
+        doc_rows[i] = DocumentToRow(spec.text, doc);
+        return Status::OK();
+      }));
+  return doc_rows;
 }
 
 }  // namespace textjoin::internal

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "connector/text_source.h"
 #include "core/cost_model.h"
 #include "core/join_methods.h"
@@ -83,6 +84,26 @@ Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask);
 /// matching itself happens on the database side, but the experiment harness
 /// reads one combined meter, as the paper reports one combined time.
 void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned);
+
+/// Runs `fn(0) .. fn(n-1)` — concurrently via `pool` when non-null — and
+/// returns the first non-OK status in *index* order (deterministic no
+/// matter which call failed first in wall-clock time). All n calls run
+/// even when one fails, so the meter reflects every issued operation.
+Status ParallelStatusFor(ThreadPool* pool, size_t n,
+                         const std::function<Status(size_t)>& fn);
+
+/// Fetches the long form of `docids` in order, overlapping the fetch
+/// round-trips via `pool`. Exactly one Fetch per docid (the caller is
+/// responsible for deduplication), so the meter matches serial execution.
+Result<std::vector<Document>> FetchDocs(const std::vector<std::string>& docids,
+                                        TextSource& source, ThreadPool* pool);
+
+/// Builds the text-side rows for `docids`, in order: long-form fetches
+/// (overlapped via `pool`) when the spec needs document fields, docid-only
+/// rows otherwise.
+Result<std::vector<Row>> FetchDocRows(const ResolvedSpec& rspec,
+                                      const std::vector<std::string>& docids,
+                                      TextSource& source, ThreadPool* pool);
 
 }  // namespace textjoin::internal
 

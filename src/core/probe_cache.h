@@ -1,7 +1,9 @@
 #ifndef TEXTJOIN_CORE_PROBE_CACHE_H_
 #define TEXTJOIN_CORE_PROBE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -18,28 +20,60 @@ namespace textjoin {
 
 /// Maps probe-key rows (the tuple projected onto the probe columns) to the
 /// probe outcome. Lives for the duration of one query execution.
+///
+/// Thread-safe: entries are striped by key hash, each stripe behind its own
+/// mutex, so concurrent executions (and the parallel fetch phases running
+/// around P+TS's sequential probe loop) can share one cache without a
+/// single contended lock.
 class ProbeCache {
  public:
   /// The cached outcome for `key`, or nullopt if never probed.
   std::optional<bool> Lookup(const Row& key) const {
-    ++lookups_;
-    auto it = entries_.find(key);
-    if (it == entries_.end()) return std::nullopt;
-    ++hits_;
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    const Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.entries.find(key);
+    if (it == stripe.entries.end()) return std::nullopt;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
 
   /// Records the outcome of a probe (true = documents matched).
-  void Insert(const Row& key, bool success) { entries_[key] = success; }
+  void Insert(const Row& key, bool success) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.entries[key] = success;
+  }
 
-  size_t size() const { return entries_.size(); }
-  uint64_t lookups() const { return lookups_; }
-  uint64_t hits() const { return hits_; }
+  size_t size() const {
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      total += stripe.entries.size();
+    }
+    return total;
+  }
+  uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
-  std::unordered_map<Row, bool, RowHash, RowEq> entries_;
-  mutable uint64_t lookups_ = 0;
-  mutable uint64_t hits_ = 0;
+  static constexpr size_t kStripes = 16;  // power of two, masks the hash
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Row, bool, RowHash, RowEq> entries;
+  };
+
+  Stripe& StripeFor(const Row& key) {
+    return stripes_[RowHash{}(key) & (kStripes - 1)];
+  }
+  const Stripe& StripeFor(const Row& key) const {
+    return stripes_[RowHash{}(key) & (kStripes - 1)];
+  }
+
+  Stripe stripes_[kStripes];
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> hits_{0};
 };
 
 }  // namespace textjoin

@@ -35,7 +35,8 @@ Row TermsToRow(const std::vector<std::string>& terms) {
 
 Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
-                                     TextSource& source, PredicateMask mask) {
+                                     TextSource& source, PredicateMask mask,
+                                     ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
   const PredicateMask all = FullMask(spec.joins.size());
@@ -52,6 +53,11 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
     ++remaining_sharers[ProbeKeyOf(terms, mask, spec.joins.size())];
   }
 
+  // The search/probe sequence is inherently serial: whether a probe is
+  // sent at all depends on the outcomes cached for *earlier* combinations,
+  // and parallelizing it would change which invocations are issued (and so
+  // the meter — the paper's core artifact). Only the long-form fetches of
+  // each successful search overlap across the pool.
   ProbeCache cache;
   for (const auto& [terms, row_indices] : groups) {
     const std::vector<std::string> probe_terms =
@@ -70,16 +76,8 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
       // A successful full query implies the probe would succeed; remember
       // it without spending an invocation.
       cache.Insert(probe_key, true);
-      std::vector<Row> doc_rows;
-      doc_rows.reserve(docids.size());
-      for (const std::string& docid : docids) {
-        if (spec.need_document_fields) {
-          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-          doc_rows.push_back(DocumentToRow(spec.text, doc));
-        } else {
-          doc_rows.push_back(DocidOnlyRow(spec.text, docid));
-        }
-      }
+      TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Row> doc_rows,
+                                FetchDocRows(rspec, docids, source, pool));
       for (size_t r : row_indices) {
         for (const Row& doc_row : doc_rows) {
           result.rows.push_back(ConcatRows(left_rows[r], doc_row));
@@ -103,8 +101,8 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
 
 Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
                                       const std::vector<Row>& left_rows,
-                                      TextSource& source,
-                                      PredicateMask mask) {
+                                      TextSource& source, PredicateMask mask,
+                                      ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
   const PredicateMask all = FullMask(spec.joins.size());
@@ -113,30 +111,55 @@ Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
 
   // One probe per distinct probe-column combination; the documents each
   // successful probe matched are fetched (long form, deduplicated across
-  // probes) and matched against the agreeing tuples in SQL.
+  // probes) and matched against the agreeing tuples in SQL. Three phases:
+  //
+  //  1. every probe is independent → issued concurrently;
+  //  2. a serial walk in group order assigns each docid its first-seen
+  //     fetch slot (the same distinct set, in the same order, that the
+  //     serial interleaved loop would fetch);
+  //  3. the distinct fetches overlap, and assembly replays group order.
+  //
+  // Meter totals are therefore byte-identical to serial execution.
   const auto groups = GroupByTerms(rspec, left_rows, mask);
-  std::unordered_map<std::string, Document> fetched;
+  std::vector<const std::vector<size_t>*> group_rows;
+  std::vector<TextQueryPtr> probes;
+  group_rows.reserve(groups.size());
+  probes.reserve(groups.size());
   for (const auto& [probe_terms, row_indices] : groups) {
-    TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
-    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                              source.Search(*probe));
-    if (docids.empty()) continue;  // Fail: every agreeing tuple is skipped.
-    std::vector<const Document*> combo_docs;
-    combo_docs.reserve(docids.size());
+    probes.push_back(BuildSearch(rspec, probe_terms, mask));
+    group_rows.push_back(&row_indices);
+  }
+
+  std::vector<std::vector<std::string>> docids_per_group(groups.size());
+  TEXTJOIN_RETURN_IF_ERROR(
+      ParallelStatusFor(pool, groups.size(), [&](size_t g) -> Status {
+        TEXTJOIN_ASSIGN_OR_RETURN(docids_per_group[g],
+                                  source.Search(*probes[g]));
+        return Status::OK();
+      }));
+
+  std::vector<std::string> distinct_docids;
+  std::unordered_map<std::string, size_t> docid_slot;
+  for (const std::vector<std::string>& docids : docids_per_group) {
     for (const std::string& docid : docids) {
-      auto it = fetched.find(docid);
-      if (it == fetched.end()) {
-        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-        it = fetched.emplace(docid, std::move(doc)).first;
+      if (docid_slot.emplace(docid, distinct_docids.size()).second) {
+        distinct_docids.push_back(docid);
       }
-      combo_docs.push_back(&it->second);
     }
-    ChargeRelationalMatches(source, combo_docs.size());
-    for (const Document* doc : combo_docs) {
-      Row doc_row = DocumentToRow(spec.text, *doc);
-      for (size_t r : row_indices) {
+  }
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
+                            FetchDocs(distinct_docids, source, pool));
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<std::string>& docids = docids_per_group[g];
+    if (docids.empty()) continue;  // Fail: every agreeing tuple is skipped.
+    ChargeRelationalMatches(source, docids.size());
+    for (const std::string& docid : docids) {
+      const Document& doc = docs[docid_slot.at(docid)];
+      Row doc_row = DocumentToRow(spec.text, doc);
+      for (size_t r : *group_rows[g]) {
         // The probe guaranteed the mask predicates; check the remainder.
-        if (DocMatchesRow(rspec, left_rows[r], *doc, all & ~mask)) {
+        if (DocMatchesRow(rspec, left_rows[r], doc, all & ~mask)) {
           result.rows.push_back(ConcatRows(left_rows[r], doc_row));
         }
       }
@@ -152,18 +175,33 @@ namespace textjoin {
 Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
-                                             PredicateMask probe_mask) {
+                                             PredicateMask probe_mask,
+                                             ThreadPool* pool) {
   TEXTJOIN_RETURN_IF_ERROR(internal::ValidateProbeMask(spec, probe_mask));
   TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
                             internal::ResolveSpec(spec));
   const auto groups = internal::GroupByTerms(rspec, left_rows, probe_mask);
-  std::vector<bool> keep(left_rows.size(), false);
+  std::vector<TextQueryPtr> probes;
+  std::vector<const std::vector<size_t>*> group_rows;
+  probes.reserve(groups.size());
+  group_rows.reserve(groups.size());
   for (const auto& [probe_terms, row_indices] : groups) {
-    TextQueryPtr probe = internal::BuildSearch(rspec, probe_terms, probe_mask);
-    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                              source.Search(*probe));
-    if (docids.empty()) continue;
-    for (size_t r : row_indices) keep[r] = true;
+    probes.push_back(internal::BuildSearch(rspec, probe_terms, probe_mask));
+    group_rows.push_back(&row_indices);
+  }
+  // Every distinct combination's probe is independent; overlap them.
+  std::vector<char> matched(groups.size(), 0);
+  TEXTJOIN_RETURN_IF_ERROR(internal::ParallelStatusFor(
+      pool, groups.size(), [&](size_t g) -> Status {
+        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                                  source.Search(*probes[g]));
+        matched[g] = docids.empty() ? 0 : 1;
+        return Status::OK();
+      }));
+  std::vector<bool> keep(left_rows.size(), false);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!matched[g]) continue;
+    for (size_t r : *group_rows[g]) keep[r] = true;
   }
   std::vector<Row> survivors;
   for (size_t r = 0; r < left_rows.size(); ++r) {

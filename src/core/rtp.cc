@@ -4,7 +4,7 @@ namespace textjoin::internal {
 
 Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
-                                     TextSource& source) {
+                                     TextSource& source, ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.selections.empty()) {
     // Without selections, the single text search would be unconstrained.
@@ -21,27 +21,32 @@ Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
                             source.Search(*search));
   if (docids.empty()) return result;
 
-  // Fetch the long form of every candidate: the join predicates are
-  // evaluated against full field text on the relational side.
-  std::vector<Document> docs;
-  docs.reserve(docids.size());
-  for (const std::string& docid : docids) {
-    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-    docs.push_back(std::move(doc));
-  }
+  // Fetch the long form of every candidate — the method's dominant cost,
+  // and every retrieval is independent, so the fetches overlap across the
+  // pool. The join predicates are then evaluated against full field text
+  // on the relational side.
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
+                            FetchDocs(docids, source, pool));
 
   // Relational text processing: SQL string matching of every candidate
   // document. The meter charges c_a per document scanned, mirroring the
-  // paper's "proportional to the number of the documents" model.
+  // paper's "proportional to the number of the documents" model. Matching
+  // is local CPU work; it parallelizes per document into indexed slots,
+  // assembled in document order for deterministic output.
   ChargeRelationalMatches(source, docs.size());
   const PredicateMask all = FullMask(spec.joins.size());
-  for (const Document& doc : docs) {
+  std::vector<std::vector<Row>> rows_per_doc(docs.size());
+  ParallelFor(pool, docs.size(), [&](size_t d) {
+    const Document& doc = docs[d];
     Row doc_row = DocumentToRow(spec.text, doc);
     for (const Row& left : left_rows) {
       if (DocMatchesRow(rspec, left, doc, all)) {
-        result.rows.push_back(ConcatRows(left, doc_row));
+        rows_per_doc[d].push_back(ConcatRows(left, doc_row));
       }
     }
+  });
+  for (std::vector<Row>& rows : rows_per_doc) {
+    for (Row& row : rows) result.rows.push_back(std::move(row));
   }
   return result;
 }

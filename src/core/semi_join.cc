@@ -9,10 +9,14 @@ namespace {
 /// Runs the OR-batched semi-join searches and returns the distinct matching
 /// docids, in first-seen order. Batch size respects the source's term
 /// limit M: each batch spends the selection terms once plus k terms per
-/// disjunct (paper Section 3.2: |Q|/M searches).
+/// disjunct (paper Section 3.2: |Q|/M searches). The chunked OR-batches
+/// are independent searches and are issued concurrently across `pool`;
+/// answers land in per-batch slots and are merged in batch order, so the
+/// first-seen docid order (and hence every downstream result ordering) is
+/// identical to serial execution.
 Result<std::vector<std::string>> RunBatchedSemiJoin(
     const ResolvedSpec& rspec, const std::vector<Row>& left_rows,
-    TextSource& source) {
+    TextSource& source, ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   const PredicateMask all = FullMask(spec.joins.size());
   const auto groups = GroupByTerms(rspec, left_rows, all);
@@ -27,34 +31,40 @@ Result<std::vector<std::string>> RunBatchedSemiJoin(
   const size_t batch_capacity =
       std::max<size_t>(1, (m - selection_terms) / terms_per_disjunct);
 
-  std::vector<std::string> distinct_docids;
-  std::set<std::string> seen;
-
-  auto flush = [&](std::vector<TextQueryPtr>& disjuncts) -> Status {
-    if (disjuncts.empty()) return Status::OK();
+  // Materialize every batched search up front (deterministic group order).
+  std::vector<TextQueryPtr> batches;
+  std::vector<TextQueryPtr> pending;
+  auto seal = [&]() {
+    if (pending.empty()) return;
     std::vector<TextQueryPtr> children;
     for (const TextSelection& sel : spec.selections) {
       children.push_back(TextQuery::Term(sel.field, sel.term));
     }
-    children.push_back(TextQuery::Or(std::move(disjuncts)));
-    disjuncts.clear();
-    TextQueryPtr search = TextQuery::And(std::move(children));
-    Result<std::vector<std::string>> docids = source.Search(*search);
-    if (!docids.ok()) return docids.status();
-    for (const std::string& docid : *docids) {
-      if (seen.insert(docid).second) distinct_docids.push_back(docid);
-    }
-    return Status::OK();
+    children.push_back(TextQuery::Or(std::move(pending)));
+    pending.clear();
+    batches.push_back(TextQuery::And(std::move(children)));
   };
-
-  std::vector<TextQueryPtr> pending;
   for (const auto& [terms, row_indices] : groups) {
     pending.push_back(BuildDisjunct(rspec, terms, all));
-    if (pending.size() >= batch_capacity) {
-      TEXTJOIN_RETURN_IF_ERROR(flush(pending));
+    if (pending.size() >= batch_capacity) seal();
+  }
+  seal();
+
+  // Issue the batches concurrently, then merge serially in batch order.
+  std::vector<std::vector<std::string>> answers(batches.size());
+  TEXTJOIN_RETURN_IF_ERROR(
+      ParallelStatusFor(pool, batches.size(), [&](size_t b) -> Status {
+        TEXTJOIN_ASSIGN_OR_RETURN(answers[b], source.Search(*batches[b]));
+        return Status::OK();
+      }));
+
+  std::vector<std::string> distinct_docids;
+  std::set<std::string> seen;
+  for (const std::vector<std::string>& docids : answers) {
+    for (const std::string& docid : docids) {
+      if (seen.insert(docid).second) distinct_docids.push_back(docid);
     }
   }
-  TEXTJOIN_RETURN_IF_ERROR(flush(pending));
   return distinct_docids;
 }
 
@@ -62,7 +72,7 @@ Result<std::vector<std::string>> RunBatchedSemiJoin(
 
 Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source) {
+                                    TextSource& source, ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.joins.empty()) {
     return Status::InvalidArgument("SJ requires text join predicates");
@@ -74,19 +84,15 @@ Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
     return Status::InvalidArgument(
         "SJ yields a doc-side semi-join; the query needs outer columns");
   }
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                            RunBatchedSemiJoin(rspec, left_rows, source));
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      std::vector<std::string> docids,
+      RunBatchedSemiJoin(rspec, left_rows, source, pool));
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Row> doc_rows,
+                            FetchDocRows(rspec, docids, source, pool));
   const Row null_left = NullLeftRow(spec.left_schema);
-  for (const std::string& docid : docids) {
-    Row doc_row;
-    if (spec.need_document_fields) {
-      TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-      doc_row = DocumentToRow(spec.text, doc);
-    } else {
-      doc_row = DocidOnlyRow(spec.text, docid);
-    }
+  for (Row& doc_row : doc_rows) {
     result.rows.push_back(ConcatRows(null_left, doc_row));
   }
   return result;
@@ -94,33 +100,36 @@ Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
 
 Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
                                        const std::vector<Row>& left_rows,
-                                       TextSource& source) {
+                                       TextSource& source, ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.joins.empty()) {
     return Status::InvalidArgument("SJ+RTP requires text join predicates");
   }
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                            RunBatchedSemiJoin(rspec, left_rows, source));
-  // Fetch the distinct candidates once, then recover the pairing by
-  // relational text processing over all join predicates.
-  std::vector<Document> docs;
-  docs.reserve(docids.size());
-  for (const std::string& docid : docids) {
-    TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-    docs.push_back(std::move(doc));
-  }
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      std::vector<std::string> docids,
+      RunBatchedSemiJoin(rspec, left_rows, source, pool));
+  // Fetch the distinct candidates once (fetches overlap across the pool),
+  // then recover the pairing by relational text processing over all join
+  // predicates.
+  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
+                            FetchDocs(docids, source, pool));
   ChargeRelationalMatches(source, docs.size());
 
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
   const PredicateMask all = FullMask(spec.joins.size());
-  for (const Document& doc : docs) {
+  std::vector<std::vector<Row>> rows_per_doc(docs.size());
+  ParallelFor(pool, docs.size(), [&](size_t d) {
+    const Document& doc = docs[d];
     Row doc_row = DocumentToRow(spec.text, doc);
     for (const Row& left : left_rows) {
       if (DocMatchesRow(rspec, left, doc, all)) {
-        result.rows.push_back(ConcatRows(left, doc_row));
+        rows_per_doc[d].push_back(ConcatRows(left, doc_row));
       }
     }
+  });
+  for (std::vector<Row>& rows : rows_per_doc) {
+    for (Row& row : rows) result.rows.push_back(std::move(row));
   }
   return result;
 }

@@ -4,7 +4,7 @@ namespace textjoin::internal {
 
 Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source) {
+                                    TextSource& source, ThreadPool* pool) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.selections.empty() && spec.joins.empty()) {
     return Status::InvalidArgument(
@@ -18,26 +18,41 @@ Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
   // combination of join-column values; tuples with NULL / non-string join
   // values cannot match and are never sent.
   const auto groups = GroupByTerms(rspec, left_rows, all);
+
+  // Each combination's search + fetches are independent of every other
+  // combination's, so they overlap across the pool. Long forms are
+  // retrieved per search (no cross-search cache), matching the paper's
+  // c_l * V accounting for TS. Per-group text rows land in indexed slots;
+  // assembly below walks the groups in their deterministic (term-sorted)
+  // order, so output ordering is identical to serial execution.
+  std::vector<const std::vector<size_t>*> group_rows;
+  std::vector<TextQueryPtr> searches;
+  group_rows.reserve(groups.size());
+  searches.reserve(groups.size());
   for (const auto& [terms, row_indices] : groups) {
-    TextQueryPtr search = BuildSearch(rspec, terms, all);
-    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                              source.Search(*search));
-    if (docids.empty()) continue;
-    // Build the text-side rows for this search's result set. Long forms are
-    // retrieved per search (no cross-search cache), matching the paper's
-    // c_l * V accounting for TS.
-    std::vector<Row> doc_rows;
-    doc_rows.reserve(docids.size());
-    for (const std::string& docid : docids) {
-      if (spec.need_document_fields) {
-        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-        doc_rows.push_back(DocumentToRow(spec.text, doc));
-      } else {
-        doc_rows.push_back(DocidOnlyRow(spec.text, docid));
-      }
-    }
-    for (size_t r : row_indices) {
-      for (const Row& doc_row : doc_rows) {
+    searches.push_back(BuildSearch(rspec, terms, all));
+    group_rows.push_back(&row_indices);
+  }
+
+  std::vector<std::vector<Row>> doc_rows_per_group(groups.size());
+  TEXTJOIN_RETURN_IF_ERROR(
+      ParallelStatusFor(pool, groups.size(), [&](size_t g) -> Status {
+        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
+                                  source.Search(*searches[g]));
+        if (docids.empty()) return Status::OK();
+        // Fetches within one group run serially — cross-group overlap
+        // already keeps the pool busy — unless there is only one group.
+        TEXTJOIN_ASSIGN_OR_RETURN(
+            doc_rows_per_group[g],
+            FetchDocRows(rspec, docids, source,
+                         groups.size() == 1 ? pool : nullptr));
+        return Status::OK();
+      }));
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (doc_rows_per_group[g].empty()) continue;
+    for (size_t r : *group_rows[g]) {
+      for (const Row& doc_row : doc_rows_per_group[g]) {
         result.rows.push_back(ConcatRows(left_rows[r], doc_row));
       }
     }

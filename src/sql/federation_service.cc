@@ -12,7 +12,8 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
     return ComputeExactStats(query, *catalog_, *engine_, registry_);
   }
   // Sampling mode (paper Section 4.2): probe the source for predicates we
-  // have not seen before; table stats are computed locally.
+  // have not seen before; table stats are computed locally. All traffic
+  // goes through stats_source_, whose meter is the stats meter.
   for (const RelationRef& rel : query.relations) {
     if (!registry_.GetTableStats(rel.table_name).ok()) {
       TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
@@ -20,7 +21,6 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
       registry_.SetTableStats(rel.table_name, TableStats::Analyze(*table));
     }
   }
-  ScopedMeter redirect(source_, &stats_meter_);
   for (const TextJoinPredicate& pred : query.text_joins) {
     if (registry_.HasTextJoinStats(pred.column_ref, pred.field)) continue;
     const size_t dot = pred.column_ref.find('.');
@@ -38,7 +38,7 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
         table->schema().WithQualifier(rel->name()).Resolve(pred.column_ref));
     TEXTJOIN_ASSIGN_OR_RETURN(
         PredicateStatsEstimate est,
-        EstimatePredicateStats(*table, col, source_, pred.field,
+        EstimatePredicateStats(*table, col, stats_source_, pred.field,
                                options_.sample_size, rng_));
     registry_.SetTextJoinStats(pred.column_ref, pred.field, est.selectivity,
                                est.fanout);
@@ -48,7 +48,7 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
     // One short-form search measures the selection exactly.
     TextQueryPtr probe = TextQuery::Term(sel.field, sel.term);
     TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                              source_.Search(*probe));
+                              stats_source_.Search(*probe));
     // Postings estimate: result size is a lower bound on list length; use
     // it (the cost term is tiny under c_p).
     registry_.SetTextSelectionStats(sel.term, sel.field,
@@ -59,21 +59,39 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
 }
 
 Result<PlanNodePtr> FederationService::Plan(const FederatedQuery& query) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   TEXTJOIN_RETURN_IF_ERROR(EnsureStatistics(query));
   Enumerator enumerator(catalog_, &registry_, engine_->num_documents(),
                         engine_->max_search_terms(), options_.enumerator);
   return enumerator.Optimize(query);
 }
 
-Result<ExecutionResult> FederationService::Query(const std::string& sql) {
-  TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, text_));
+Result<QueryOutcome> FederationService::Run(const std::string& sql) {
+  TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, options_.text));
   TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
-  PlanExecutor executor(catalog_, &source_);
-  return executor.Execute(*plan, query);
+
+  // A private source per call isolates its meter: the outcome's delta is
+  // exact even when other Run()s execute concurrently on other threads.
+  RemoteTextSource call_source(engine_);
+  PlanExecutor executor(catalog_, &call_source,
+                        ExecutorOptions{options_.parallelism}, pool_.get());
+  QueryOutcome outcome;
+  TEXTJOIN_ASSIGN_OR_RETURN(outcome.rows,
+                            executor.Execute(*plan, query, &outcome.profile));
+  outcome.meter_delta = call_source.meter();
+  outcome.chosen_plan = plan->ToString(query);
+  outcome.plan = std::move(plan);
+  cumulative_.Add(outcome.meter_delta);
+  return outcome;
+}
+
+Result<ExecutionResult> FederationService::Query(const std::string& sql) {
+  TEXTJOIN_ASSIGN_OR_RETURN(QueryOutcome outcome, Run(sql));
+  return std::move(outcome.rows);
 }
 
 Result<std::string> FederationService::Explain(const std::string& sql) {
-  TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, text_));
+  TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, options_.text));
   TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
   return query.ToString() + "\n" + plan->ToString(query);
 }

@@ -1,9 +1,13 @@
 #ifndef TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 #define TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "connector/remote_text_source.h"
 #include "core/enumerator.h"
 #include "core/executor.h"
@@ -17,31 +21,74 @@
 
 namespace textjoin {
 
+/// Everything one Run() call produced, as a value: the materialized rows,
+/// the text-source charges attributable to THIS call (not a cumulative
+/// counter the caller must diff), the chosen plan, and the per-node
+/// execution profile. Outcomes are self-contained — two concurrent calls
+/// never see each other's charges.
+struct QueryOutcome {
+  ExecutionResult rows;
+
+  /// Text-source charges of this execution only. Sampling charges (when
+  /// oracle_stats is false) are excluded; they live in stats_meter().
+  AccessMeter meter_delta;
+
+  /// EXPLAIN rendering of the plan that was executed.
+  std::string chosen_plan;
+
+  /// Per-node actuals (rows + meter deltas), keyed by nodes of `plan`.
+  ExecutionProfile profile;
+
+  /// The executed plan; owning it here keeps `profile`'s keys valid for
+  /// as long as the outcome lives (e.g. for ExplainAnalyze rendering).
+  PlanNodePtr plan;
+};
+
 /// A federation of one relational catalog and one external text source.
+///
+/// Run() is safe to call from multiple threads concurrently: statistics
+/// acquisition and planning are serialized internally, and each execution
+/// charges a private per-call meter before folding into the cumulative one.
 class FederationService {
  public:
   struct Options {
+    /// How the engine appears as a relation (alias + fields).
+    TextRelationDecl text;
+
     /// true: compute exact statistics engine-side (free, experiment mode).
     /// false: sample the text source per Section 4.2; sampling charges go
     /// to stats_meter() and are amortized across queries.
     bool oracle_stats = true;
     size_t sample_size = 50;        ///< Values probed per predicate.
     uint64_t sampling_seed = 42;
+
+    /// Number of concurrent text-source operations per query; 1 = serial.
+    /// Parallelism never changes results or meter totals, only wall-clock
+    /// time (see DESIGN.md, "Concurrency model").
+    int parallelism = 1;
+
     EnumeratorOptions enumerator;   ///< Plan-space knobs.
   };
 
-  /// All pointers must outlive the service. `text` declares how the
-  /// engine appears as a relation (alias + fields).
+  /// All pointers must outlive the service.
   FederationService(const Catalog* catalog, TextEngine* engine,
-                    TextRelationDecl text, Options options)
+                    Options options)
       : catalog_(catalog),
         engine_(engine),
-        text_(std::move(text)),
-        options_(options),
-        source_(engine),
-        rng_(options.sampling_seed) {}
+        options_(std::move(options)),
+        stats_source_(engine),
+        rng_(options_.sampling_seed) {
+    if (options_.parallelism > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
+    }
+  }
 
-  /// Convenience constructor with default options.
+  /// Transitional constructors predating Options::text; prefer passing the
+  /// declaration inside Options.
+  FederationService(const Catalog* catalog, TextEngine* engine,
+                    TextRelationDecl text, Options options)
+      : FederationService(catalog, engine,
+                          MergeText(std::move(options), std::move(text))) {}
   FederationService(const Catalog* catalog, TextEngine* engine,
                     TextRelationDecl text)
       : FederationService(catalog, engine, std::move(text), Options{}) {}
@@ -49,38 +96,59 @@ class FederationService {
   FederationService(const FederationService&) = delete;
   FederationService& operator=(const FederationService&) = delete;
 
-  /// Parses, optimizes, and executes `sql`. Statistics for predicates not
-  /// yet known are acquired on first use and cached across queries.
+  /// Parses, optimizes, and executes `sql`, returning a self-contained
+  /// QueryOutcome. Statistics for predicates not yet known are acquired on
+  /// first use and cached across queries.
+  Result<QueryOutcome> Run(const std::string& sql);
+
+  /// Deprecated shim over Run() for callers that only want rows; new code
+  /// should call Run() and use the outcome's per-call meter_delta instead
+  /// of diffing the cumulative meter().
   Result<ExecutionResult> Query(const std::string& sql);
 
   /// Parses and optimizes `sql`, returning the EXPLAIN rendering of the
   /// chosen plan (no execution, no meter charges beyond statistics).
   Result<std::string> Explain(const std::string& sql);
 
-  /// Cumulative execution charges (per-query deltas are the caller's job).
-  const AccessMeter& meter() const { return source_.meter(); }
-  void ResetMeter() { source_.ResetMeter(); }
+  /// Cumulative execution charges across every Run()/Query() so far.
+  AccessMeter meter() const { return cumulative_.Snapshot(); }
+  void ResetMeter() { cumulative_.Reset(); }
 
   /// Charges incurred acquiring statistics (sampling mode only).
-  const AccessMeter& stats_meter() const { return stats_meter_; }
+  AccessMeter stats_meter() const { return stats_source_.meter(); }
 
-  /// The statistics cache (exposed for inspection/preloading).
+  /// The statistics cache (exposed for inspection/preloading). Not
+  /// synchronized — do not touch while Run() is in flight elsewhere.
   StatsRegistry& stats() { return registry_; }
 
  private:
-  /// Ensures the registry covers every predicate of `query`.
+  static Options MergeText(Options options, TextRelationDecl text) {
+    options.text = std::move(text);
+    return options;
+  }
+
+  /// Ensures the registry covers every predicate of `query`. Caller holds
+  /// stats_mu_.
   Status EnsureStatistics(const FederatedQuery& query);
 
+  /// Statistics + enumeration under stats_mu_.
   Result<PlanNodePtr> Plan(const FederatedQuery& query);
 
   const Catalog* catalog_;
   TextEngine* engine_;
-  TextRelationDecl text_;
   Options options_;
-  RemoteTextSource source_;
+
+  /// Serializes statistics acquisition and planning (registry_, rng_).
+  std::mutex stats_mu_;
+  RemoteTextSource stats_source_;  ///< Its own meter IS the stats meter.
   StatsRegistry registry_;
-  AccessMeter stats_meter_;
   Rng rng_;
+
+  /// Folded per-call deltas; commutative, so concurrent Run()s agree.
+  AtomicAccessMeter cumulative_;
+
+  /// Shared helper threads for parallel execution (null when serial).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace textjoin

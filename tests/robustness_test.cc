@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
 
@@ -27,13 +28,14 @@ class FlakyTextSource final : public TextSource {
   FlakyTextSource(TextSource* inner, int period)
       : inner_(inner), period_(period) {}
 
-  Result<std::vector<std::string>> Search(const TextQuery& query) override {
+  Result<std::vector<std::string>> Search(
+      const TextQuery& query) const override {
     if (++calls_ % period_ == 0) {
       return Status::Internal("injected search failure");
     }
     return inner_->Search(query);
   }
-  Result<Document> Fetch(const std::string& docid) override {
+  Result<Document> Fetch(const std::string& docid) const override {
     if (++calls_ % period_ == 0) {
       return Status::Internal("injected fetch failure");
     }
@@ -47,7 +49,7 @@ class FlakyTextSource final : public TextSource {
  private:
   TextSource* inner_;
   int period_;
-  int calls_ = 0;
+  mutable std::atomic<int> calls_{0};
 };
 
 class FlakySourceTest : public ::testing::TestWithParam<int> {
