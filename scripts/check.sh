@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Local tier-1 gate, mirroring CI: build + ctest in Release and under each
+# sanitizer. Run from anywhere; builds land in <repo>/build-check-*.
+#
+#   scripts/check.sh            # Release + address + thread
+#   scripts/check.sh release    # just the Release leg
+#   scripts/check.sh thread     # just the TSan leg (parallel/chaos paths)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+legs=("${@:-release}")
+if [ "$#" -eq 0 ]; then
+  legs=(release address thread)
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for leg in "${legs[@]}"; do
+  case "$leg" in
+    release)
+      build="$repo/build-check-release"
+      cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+        -DTEXTJOIN_SANITIZE=
+      ;;
+    address | thread)
+      build="$repo/build-check-$leg"
+      cmake -B "$build" -S "$repo" -DTEXTJOIN_SANITIZE="$leg"
+      ;;
+    *)
+      echo "unknown leg '$leg' (want: release, address, thread)" >&2
+      exit 2
+      ;;
+  esac
+  echo "==> [$leg] building"
+  cmake --build "$build" -j "$jobs"
+  echo "==> [$leg] testing"
+  ctest --test-dir "$build" --output-on-failure -j "$jobs"
+done
+
+echo "All checks passed: ${legs[*]}"

@@ -1,0 +1,57 @@
+#ifndef TEXTJOIN_COMMON_BACKOFF_H_
+#define TEXTJOIN_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+
+/// \file
+/// Seeded retry-backoff schedules. The connector's resilience layer sleeps
+/// between retries of transient text-source failures; a deterministic
+/// (seeded) schedule keeps experiments and tests reproducible while still
+/// decorrelating concurrent clients.
+
+namespace textjoin {
+
+/// Decorrelated-jitter backoff: each delay is drawn uniformly from
+/// [base, previous * multiplier], capped at `cap` (the "decorrelated
+/// jitter" strategy — spreads retry storms without the lockstep of plain
+/// exponential backoff). Seeded, so the schedule is a pure function of the
+/// seed: the same seed always yields the same delays.
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(std::chrono::microseconds base,
+                            std::chrono::microseconds cap, double multiplier,
+                            uint64_t seed)
+      : base_(base), cap_(cap), multiplier_(multiplier), rng_(seed) {
+    Reset();
+  }
+
+  /// The next delay in the schedule (monotone state: each call advances).
+  std::chrono::microseconds NextDelay() {
+    const int64_t lo = base_.count();
+    const int64_t hi_raw = static_cast<int64_t>(
+        static_cast<double>(previous_.count()) * multiplier_);
+    const int64_t hi =
+        std::min<int64_t>(cap_.count(), std::max<int64_t>(lo, hi_raw));
+    const int64_t next = lo >= hi ? lo : rng_.Uniform(lo, hi);
+    previous_ = std::chrono::microseconds(next);
+    return previous_;
+  }
+
+  /// Restarts the schedule (does not reseed the RNG).
+  void Reset() { previous_ = base_.count() > 0 ? base_ : cap_; }
+
+ private:
+  std::chrono::microseconds base_;
+  std::chrono::microseconds cap_;
+  double multiplier_;
+  std::chrono::microseconds previous_{0};
+  Rng rng_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_BACKOFF_H_

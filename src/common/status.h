@@ -26,6 +26,8 @@ enum class StatusCode {
   kResourceExhausted, ///< A capacity limit was hit (e.g., term limit M).
   kUnimplemented,     ///< Feature intentionally not supported.
   kInternal,          ///< Invariant violation detected at runtime.
+  kUnavailable,       ///< A remote dependency is (transiently) unreachable.
+  kDeadlineExceeded,  ///< An operation exceeded its time budget.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,88 @@
+#include "connector/chaos.h"
+
+#include <thread>
+
+namespace textjoin {
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, used here as a pure
+/// hash so fault decisions are a function of (seed, ordinal, salt) alone.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kFailSalt = 0x1;
+constexpr uint64_t kSpikeSalt = 0x2;
+constexpr uint64_t kTruncateSalt = 0x3;
+
+}  // namespace
+
+double ChaosTextSource::Draw(uint64_t ordinal, uint64_t salt) const {
+  const uint64_t h = Mix64(options_.seed ^ Mix64(ordinal ^ (salt << 56)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool ChaosTextSource::ShouldFail(uint64_t ordinal, double rate) const {
+  if (options_.failure_period > 0 &&
+      ordinal % static_cast<uint64_t>(options_.failure_period) == 0) {
+    return true;
+  }
+  return rate > 0.0 && Draw(ordinal, kFailSalt) < rate;
+}
+
+void ChaosTextSource::MaybeSpike(uint64_t ordinal) const {
+  if (options_.latency_spike_rate <= 0.0 ||
+      Draw(ordinal, kSpikeSalt) >= options_.latency_spike_rate) {
+    return;
+  }
+  latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.latency_spike.count() > 0) {
+    std::this_thread::sleep_for(options_.latency_spike);
+  }
+}
+
+Result<std::vector<std::string>> ChaosTextSource::Search(
+    const TextQuery& query) const {
+  const uint64_t ordinal = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  MaybeSpike(ordinal);
+  if (ShouldFail(ordinal, options_.search_failure_rate)) {
+    search_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status(options_.failure_code, "chaos: injected search failure");
+  }
+  Result<std::vector<std::string>> result = inner_->Search(query);
+  if (!result.ok()) return result;
+  if (options_.truncate_rate > 0.0 && result->size() > 1 &&
+      Draw(ordinal, kTruncateSalt) < options_.truncate_rate) {
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::string> docids = std::move(result).value();
+    docids.resize(docids.size() / 2);
+    return docids;
+  }
+  return result;
+}
+
+Result<Document> ChaosTextSource::Fetch(const std::string& docid) const {
+  const uint64_t ordinal = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  MaybeSpike(ordinal);
+  if (ShouldFail(ordinal, options_.fetch_failure_rate)) {
+    fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status(options_.failure_code, "chaos: injected fetch failure");
+  }
+  return inner_->Fetch(docid);
+}
+
+ChaosStats ChaosTextSource::stats() const {
+  ChaosStats stats;
+  stats.search_failures = search_failures_.load(std::memory_order_relaxed);
+  stats.fetch_failures = fetch_failures_.load(std::memory_order_relaxed);
+  stats.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  stats.truncated_searches = truncated_.load(std::memory_order_relaxed);
+  stats.operations = ops_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace textjoin

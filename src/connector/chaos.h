@@ -1,0 +1,94 @@
+#ifndef TEXTJOIN_CONNECTOR_CHAOS_H_
+#define TEXTJOIN_CONNECTOR_CHAOS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/text_source.h"
+
+/// \file
+/// Deterministic fault injection at the TextSource boundary, shared by
+/// tests and benches (robustness_test, resilience_test,
+/// bench_fault_tolerance). A seeded ChaosTextSource decorator misbehaves
+/// the way a real remote text server does — failed calls, latency spikes,
+/// truncated result sets — but reproducibly: the same seed and the same
+/// serial call sequence inject the same faults every run.
+
+namespace textjoin {
+
+/// What to inject. All injections are decided from a seeded hash of the
+/// operation's global ordinal, so a serial execution is exactly
+/// reproducible; under concurrency the multiset of injected faults is
+/// fixed even though their assignment to operations follows the schedule.
+struct ChaosOptions {
+  uint64_t seed = 1;
+
+  /// Probability that a Search / Fetch fails outright with `failure_code`.
+  double search_failure_rate = 0.0;
+  double fetch_failure_rate = 0.0;
+
+  /// Deterministic periodic faults: every `failure_period`-th operation
+  /// (search or fetch, one shared counter) fails, regardless of the rates.
+  /// 0 disables. Period 1 fails every call — a dead server.
+  int failure_period = 0;
+
+  /// Probability that an operation sleeps `latency_spike` first (models a
+  /// slow remote; pairs with the resilience layer's deadlines).
+  double latency_spike_rate = 0.0;
+  std::chrono::microseconds latency_spike{0};
+
+  /// Probability that a *successful* search loses the tail half of its
+  /// result set (a truncated response the client cannot distinguish from a
+  /// small result — the nastiest failure mode).
+  double truncate_rate = 0.0;
+
+  /// Status code of injected failures. Unavailable models a flaky network;
+  /// Internal models a server-side fault. Both classify as transient.
+  StatusCode failure_code = StatusCode::kUnavailable;
+};
+
+/// Counters of the injected mischief (value snapshot).
+struct ChaosStats {
+  uint64_t search_failures = 0;
+  uint64_t fetch_failures = 0;
+  uint64_t latency_spikes = 0;
+  uint64_t truncated_searches = 0;
+  uint64_t operations = 0;  ///< Total Search+Fetch calls observed.
+};
+
+/// The fault-injection decorator. Thread-safe: counters are atomics and
+/// the decision function is pure, so concurrent use is TSan-clean.
+class ChaosTextSource final : public TextSourceDecorator {
+ public:
+  /// `inner` must outlive this object.
+  explicit ChaosTextSource(TextSource* inner, ChaosOptions options = {})
+      : TextSourceDecorator(inner), options_(options) {}
+
+  Result<std::vector<std::string>> Search(
+      const TextQuery& query) const override;
+  Result<Document> Fetch(const std::string& docid) const override;
+
+  ChaosStats stats() const;
+
+ private:
+  /// Uniform draw in [0, 1) as a pure function of (seed, ordinal, salt).
+  double Draw(uint64_t ordinal, uint64_t salt) const;
+  /// Decides failure for operation `ordinal`; true = inject.
+  bool ShouldFail(uint64_t ordinal, double rate) const;
+  void MaybeSpike(uint64_t ordinal) const;
+
+  ChaosOptions options_;
+  mutable std::atomic<uint64_t> ops_{0};
+  mutable std::atomic<uint64_t> search_failures_{0};
+  mutable std::atomic<uint64_t> fetch_failures_{0};
+  mutable std::atomic<uint64_t> latency_spikes_{0};
+  mutable std::atomic<uint64_t> truncated_{0};
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CONNECTOR_CHAOS_H_

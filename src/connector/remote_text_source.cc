@@ -19,6 +19,15 @@ Result<std::vector<std::string>> RemoteTextSource::Search(
   return docids;
 }
 
+RemoteTextSource* UnwrapRemote(TextSource* source) {
+  while (source != nullptr) {
+    if (auto* remote = dynamic_cast<RemoteTextSource*>(source)) return remote;
+    auto* decorator = dynamic_cast<TextSourceDecorator*>(source);
+    source = decorator != nullptr ? decorator->inner() : nullptr;
+  }
+  return nullptr;
+}
+
 Result<Document> RemoteTextSource::Fetch(const std::string& docid) const {
   if (latency_.fetch.count() > 0) std::this_thread::sleep_for(latency_.fetch);
   Result<DocNum> num = engine_->FindDocid(docid);

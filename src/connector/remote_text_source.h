@@ -36,10 +36,11 @@ struct SimulatedLatency {
 /// Thread safety: Search/Fetch are const and safe to call concurrently —
 /// charges go through relaxed atomics, so concurrent executions produce
 /// meter totals byte-identical to the same operations run serially. The
-/// corpus must itself be safe for concurrent const access (TextEngine is;
-/// DiskTextEngine shares one file handle and is not — keep parallelism=1
-/// over disk corpora). SetMeter/ResetMeter are configuration, not data-path
-/// calls: do not race them against in-flight searches.
+/// corpus must itself be safe for concurrent const access (TextEngine and
+/// DiskTextEngine both are; any corpus that is not must advertise a
+/// max_concurrency() cap, which this source forwards so executors clamp
+/// their parallelism). SetMeter/ResetMeter are configuration, not
+/// data-path calls: do not race them against in-flight searches.
 class RemoteTextSource final : public TextSource {
  public:
   /// `engine` must outlive this object.
@@ -53,6 +54,7 @@ class RemoteTextSource final : public TextSource {
     return engine_->max_search_terms();
   }
   size_t num_documents() const override { return engine_->num_documents(); }
+  int max_concurrency() const override { return engine_->max_concurrency(); }
 
   /// A value snapshot of the meter currently being charged.
   AccessMeter meter() const {
@@ -85,6 +87,11 @@ class RemoteTextSource final : public TextSource {
   mutable std::atomic<AtomicAccessMeter*> active_meter_{&own_meter_};
   SimulatedLatency latency_;
 };
+
+/// Walks a decorator chain (resilience, chaos, ...) down to the metered
+/// RemoteTextSource, or null if the innermost source is something else.
+/// Lets profiling and relational-match charging see through wrappers.
+RemoteTextSource* UnwrapRemote(TextSource* source);
 
 /// RAII guard that redirects a RemoteTextSource's charges for a scope and
 /// flushes them into a plain AccessMeter on exit (so callers keep working

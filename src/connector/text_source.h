@@ -42,6 +42,33 @@ class TextSource {
   /// Total number of documents D. The paper assumes this piece of
   /// "statistical meta information" is extractable (Section 2.3).
   virtual size_t num_documents() const = 0;
+
+  /// How many Search/Fetch calls may safely be in flight concurrently
+  /// against this source. 0 (the default) means unlimited; an executor must
+  /// clamp its parallelism to a non-zero value instead of silently racing.
+  virtual int max_concurrency() const { return 0; }
+};
+
+/// Base for sources that wrap another source (resilience, fault injection,
+/// metering shims). Forwards the statistical metadata and the concurrency
+/// cap; subclasses override Search/Fetch with their added behavior. Layers
+/// that need the innermost metered source (profiling, relational-match
+/// charging) unwrap the chain with UnwrapRemote (remote_text_source.h).
+class TextSourceDecorator : public TextSource {
+ public:
+  /// `inner` must outlive this object.
+  explicit TextSourceDecorator(TextSource* inner) : inner_(inner) {}
+
+  TextSource* inner() const { return inner_; }
+
+  size_t max_search_terms() const override {
+    return inner_->max_search_terms();
+  }
+  size_t num_documents() const override { return inner_->num_documents(); }
+  int max_concurrency() const override { return inner_->max_concurrency(); }
+
+ protected:
+  TextSource* inner_;
 };
 
 }  // namespace textjoin

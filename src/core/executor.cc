@@ -15,8 +15,10 @@ namespace textjoin {
 namespace {
 
 /// Snapshot of the source's meter (zeros when the source is unmetered).
+/// Decorator chains (resilience, chaos) are unwrapped to find the metered
+/// source, so profiling keeps working under fault-tolerant wrappers.
 AccessMeter MeterSnapshot(TextSource* source) {
-  if (auto* remote = dynamic_cast<RemoteTextSource*>(source)) {
+  if (RemoteTextSource* remote = UnwrapRemote(source)) {
     return remote->meter();
   }
   return AccessMeter{};
@@ -55,8 +57,10 @@ ForeignJoinSpec PlanExecutor::BuildSpec(const FederatedQuery& query,
 
 Result<ExecutionResult> PlanExecutor::Exec(const PlanNode& node,
                                            const FederatedQuery& query,
-                                           ExecutionProfile* profile) {
-  TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result, ExecNode(node, query, profile));
+                                           ExecutionProfile* profile,
+                                           const FaultPolicy& policy) {
+  TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result,
+                            ExecNode(node, query, profile, policy));
   if (profile != nullptr) {
     profile->nodes[&node].actual_rows = result.rows.size();
   }
@@ -65,7 +69,8 @@ Result<ExecutionResult> PlanExecutor::Exec(const PlanNode& node,
 
 Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
                                                const FederatedQuery& query,
-                                               ExecutionProfile* profile) {
+                                               ExecutionProfile* profile,
+                                               const FaultPolicy& policy) {
   switch (node.kind) {
     case PlanNode::Kind::kScan: {
       TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
@@ -88,7 +93,7 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
     }
     case PlanNode::Kind::kProbe: {
       TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult child,
-                                Exec(*node.left, query, profile));
+                                Exec(*node.left, query, profile, policy));
       const AccessMeter before = MeterSnapshot(source_);
       ForeignJoinSpec spec;
       spec.left_schema = child.schema;
@@ -100,7 +105,7 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       TEXTJOIN_ASSIGN_OR_RETURN(
           std::vector<Row> survivors,
           ProbeSemiJoinReduce(spec, child.rows, *source_,
-                              FullMask(spec.joins.size()), pool_));
+                              FullMask(spec.joins.size()), pool_, policy));
       if (profile != nullptr) {
         profile->nodes[&node].meter_delta =
             MeterDelta(MeterSnapshot(source_), before);
@@ -112,13 +117,13 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
     }
     case PlanNode::Kind::kForeignJoin: {
       TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult child,
-                                Exec(*node.left, query, profile));
+                                Exec(*node.left, query, profile, policy));
       const AccessMeter before = MeterSnapshot(source_);
       ForeignJoinSpec spec = BuildSpec(query, child.schema);
       TEXTJOIN_ASSIGN_OR_RETURN(
           ForeignJoinResult joined,
           ExecuteForeignJoin(node.method.method, spec, child.rows, *source_,
-                             node.method.probe_mask, pool_));
+                             node.method.probe_mask, pool_, policy));
       if (profile != nullptr) {
         profile->nodes[&node].meter_delta =
             MeterDelta(MeterSnapshot(source_), before);
@@ -130,9 +135,9 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
     }
     case PlanNode::Kind::kRelationalJoin: {
       TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult lhs,
-                                Exec(*node.left, query, profile));
+                                Exec(*node.left, query, profile, policy));
       TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult rhs,
-                                Exec(*node.right, query, profile));
+                                Exec(*node.right, query, profile, policy));
       ExprPtr residual;
       std::vector<ExprPtr> residual_parts;
       for (const ExprPtr& c : node.conjuncts) {
@@ -311,9 +316,15 @@ Status ApplyDecorations(const FederatedQuery& query, ExecutionResult& out) {
 
 Result<ExecutionResult> PlanExecutor::Execute(const PlanNode& root,
                                               const FederatedQuery& query,
-                                              ExecutionProfile* profile) {
-  TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result,
-                            Exec(root, query, profile));
+                                              ExecutionProfile* profile,
+                                              DegradationReport* degradation) {
+  AtomicDegradation sink;
+  FaultPolicy policy;
+  policy.mode = options_.failure_mode;
+  policy.degradation = &sink;
+  Result<ExecutionResult> executed = Exec(root, query, profile, policy);
+  if (degradation != nullptr) *degradation = sink.Snapshot();
+  TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result, std::move(executed));
   if (!query.aggregates.empty()) {
     TEXTJOIN_RETURN_IF_ERROR(ApplyAggregation(query, result));
     TEXTJOIN_RETURN_IF_ERROR(ApplyDecorations(query, result));

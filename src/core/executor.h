@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "connector/resilience.h"
 #include "connector/text_source.h"
 #include "core/federated_query.h"
 #include "core/plan.h"
@@ -45,8 +46,17 @@ std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
 /// in flight; 1 means fully serial execution. Parallel execution produces
 /// byte-identical results AND meter totals to serial execution (see
 /// DESIGN.md, "Concurrency model") — it only changes wall-clock time.
+/// The executor clamps `parallelism` to the source's advertised
+/// max_concurrency() (sources that are not safe to call concurrently
+/// advertise 1 and get serial execution instead of silent races).
+///
+/// `failure_mode` decides how execution reacts when a text-source
+/// operation fails even after the source's own resilience layer (if any)
+/// gave up — see FailureMode in connector/resilience.h. The default
+/// fail-fast reproduces the historical behavior.
 struct ExecutorOptions {
   int parallelism = 1;
+  FailureMode failure_mode = FailureMode::kFailFast;
 };
 
 /// Walks a plan tree bottom-up, running scans/filters/joins with the
@@ -64,7 +74,18 @@ class PlanExecutor {
                         ExecutorOptions options = {},
                         ThreadPool* pool = nullptr)
       : catalog_(catalog), source_(source), options_(options), pool_(pool) {
-    if (pool_ == nullptr && options_.parallelism > 1) {
+    // Respect the source's concurrency contract: a cap below the requested
+    // parallelism clamps it. A caller-provided pool cannot enforce the cap
+    // (its width is fixed), so a clamped executor falls back to an owned,
+    // correctly-sized pool.
+    const int cap = source_ != nullptr ? source_->max_concurrency() : 0;
+    if (cap > 0 && options_.parallelism > cap) {
+      options_.parallelism = cap;
+      pool_ = nullptr;
+    }
+    if (options_.parallelism <= 1) {
+      pool_ = nullptr;
+    } else if (pool_ == nullptr) {
       owned_pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
       pool_ = owned_pool_.get();
     }
@@ -72,20 +93,25 @@ class PlanExecutor {
 
   /// Executes `root` for `query` and applies the query's projection.
   /// When `profile` is non-null, records per-node actual rows and meter
-  /// deltas (requires the source to be a RemoteTextSource; deltas are zero
-  /// otherwise).
+  /// deltas (requires the source to be — or decorate — a RemoteTextSource;
+  /// deltas are zero otherwise). When `degradation` is non-null, receives
+  /// the execution's skip/re-split account (always `complete` under
+  /// fail-fast, which never absorbs a failure).
   Result<ExecutionResult> Execute(const PlanNode& root,
                                   const FederatedQuery& query,
-                                  ExecutionProfile* profile = nullptr);
+                                  ExecutionProfile* profile = nullptr,
+                                  DegradationReport* degradation = nullptr);
 
  private:
   /// Exec wraps ExecNode with profile bookkeeping (actual row counts).
   Result<ExecutionResult> Exec(const PlanNode& node,
                                const FederatedQuery& query,
-                               ExecutionProfile* profile);
+                               ExecutionProfile* profile,
+                               const FaultPolicy& policy);
   Result<ExecutionResult> ExecNode(const PlanNode& node,
                                    const FederatedQuery& query,
-                                   ExecutionProfile* profile);
+                                   ExecutionProfile* profile,
+                                   const FaultPolicy& policy);
 
   /// Builds the foreign-join spec for the text join of `query` with
   /// `left_schema` as the outer side.

@@ -17,34 +17,42 @@ namespace textjoin::internal {
 /// the join columns. Parallel across combinations.
 Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source, ThreadPool* pool);
+                                    TextSource& source, ThreadPool* pool,
+                                    const FaultPolicy& policy);
 
 /// Section 3.2 — relational text processing: one selections-only search,
 /// fetch the matches, join them in SQL. Parallel across document fetches.
 Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
-                                     TextSource& source, ThreadPool* pool);
+                                     TextSource& source, ThreadPool* pool,
+                                     const FaultPolicy& policy);
 
 /// Section 3.2 — semi-join: OR-batched disjuncts under the term limit M;
 /// doc-side semi-join output (docids). Batches are issued concurrently.
+/// A recovering policy re-splits a failed batch in half repeatedly, down
+/// to single-disjunct (per-tuple) searches.
 Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source, ThreadPool* pool);
+                                    TextSource& source, ThreadPool* pool,
+                                    const FaultPolicy& policy);
 
 /// Section 3.2 — semi-join then relational text processing to recover the
 /// (tuple, document) pairing for general (non-semi-join) queries.
 Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
                                        const std::vector<Row>& left_rows,
-                                       TextSource& source, ThreadPool* pool);
+                                       TextSource& source, ThreadPool* pool,
+                                       const FaultPolicy& policy);
 
 /// Section 3.3 — probing + tuple substitution, with the probe cache and
 /// send-probe-only-after-failure policy of the paper's algorithm. The
 /// search/probe sequence stays serial (the cache's skip decisions depend on
-/// earlier outcomes); document fetches overlap.
+/// earlier outcomes); document fetches overlap. Failed cache probes are
+/// advisory (the outcome is simply not cached).
 Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
                                      TextSource& source, PredicateMask mask,
-                                     ThreadPool* pool);
+                                     ThreadPool* pool,
+                                     const FaultPolicy& policy);
 
 /// Section 3.3 — probing + relational text processing: fetch the documents
 /// matched by the successful probes, then match the remaining predicates in
@@ -52,7 +60,8 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
 Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
                                       const std::vector<Row>& left_rows,
                                       TextSource& source, PredicateMask mask,
-                                      ThreadPool* pool);
+                                      ThreadPool* pool,
+                                      const FaultPolicy& policy);
 
 }  // namespace textjoin::internal
 

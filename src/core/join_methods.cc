@@ -28,7 +28,8 @@ Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
                                              PredicateMask probe_mask,
-                                             ThreadPool* pool) {
+                                             ThreadPool* pool,
+                                             const FaultPolicy& policy) {
   TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
                             internal::ResolveSpec(spec));
   const bool is_probe_method = method == JoinMethodKind::kPTS ||
@@ -40,17 +41,19 @@ Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
   }
   switch (method) {
     case JoinMethodKind::kTS:
-      return internal::ExecuteTS(rspec, left_rows, source, pool);
+      return internal::ExecuteTS(rspec, left_rows, source, pool, policy);
     case JoinMethodKind::kRTP:
-      return internal::ExecuteRTP(rspec, left_rows, source, pool);
+      return internal::ExecuteRTP(rspec, left_rows, source, pool, policy);
     case JoinMethodKind::kSJ:
-      return internal::ExecuteSJ(rspec, left_rows, source, pool);
+      return internal::ExecuteSJ(rspec, left_rows, source, pool, policy);
     case JoinMethodKind::kSJRTP:
-      return internal::ExecuteSJRTP(rspec, left_rows, source, pool);
+      return internal::ExecuteSJRTP(rspec, left_rows, source, pool, policy);
     case JoinMethodKind::kPTS:
-      return internal::ExecutePTS(rspec, left_rows, source, probe_mask, pool);
+      return internal::ExecutePTS(rspec, left_rows, source, probe_mask, pool,
+                                  policy);
     case JoinMethodKind::kPRTP:
-      return internal::ExecutePRTP(rspec, left_rows, source, probe_mask, pool);
+      return internal::ExecutePRTP(rspec, left_rows, source, probe_mask, pool,
+                                   policy);
   }
   TEXTJOIN_UNREACHABLE("bad JoinMethodKind");
 }

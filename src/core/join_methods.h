@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "connector/resilience.h"
 #include "connector/text_source.h"
 #include "core/cost_model.h"
 #include "core/federated_query.h"
@@ -77,24 +78,38 @@ struct ForeignJoinResult {
 ///  - kRTP / kSJRTP / kPRTP and kSJ/kTS variants require what the paper
 ///    requires (RTP-family needs text selections for its initial search
 ///    except the probe variant; kSJ requires !left_columns_needed).
+///
+/// `policy` decides what happens when a source operation fails even after
+/// the resilience layer (if the source is wrapped in one) gave up. The
+/// default fail-fast policy reproduces the historical behavior exactly:
+/// the first failure aborts the join. kRetryThenFail adds method-level
+/// recovery (SJ re-splits failed OR-batches down to per-disjunct searches)
+/// and absorbs advisory failures that cannot change the answer.
+/// kBestEffort additionally skips failed units of work and reports the
+/// loss through the policy's AtomicDegradation sink.
 Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
                                              const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
                                              PredicateMask probe_mask = 0,
-                                             ThreadPool* pool = nullptr);
+                                             ThreadPool* pool = nullptr,
+                                             const FaultPolicy& policy = {});
 
 /// The probe used as a semi-join reducer (Section 6, "Probe as a
 /// Semi-join"): sends one probe per distinct combination of the probe
 /// columns and returns the input rows whose combination matched at least
 /// one document. Never changes the final query answer, only the sizes.
 /// Probes for distinct combinations are independent and overlap across
-/// `pool` when non-null.
+/// `pool` when non-null. Because the reducer is purely advisory, a
+/// recovering `policy` (retry-then-fail or best-effort) absorbs probe
+/// failures by keeping the affected rows — the answer is unchanged, only
+/// the reduction is weaker.
 Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
                                              PredicateMask probe_mask,
-                                             ThreadPool* pool = nullptr);
+                                             ThreadPool* pool = nullptr,
+                                             const FaultPolicy& policy = {});
 
 }  // namespace textjoin
 

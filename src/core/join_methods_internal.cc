@@ -151,9 +151,21 @@ Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask) {
 }
 
 void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned) {
-  if (auto* remote = dynamic_cast<RemoteTextSource*>(&source)) {
+  if (RemoteTextSource* remote = UnwrapRemote(&source)) {
     remote->charging_meter().ChargeRelationalMatches(docs_scanned);
   }
+}
+
+Status HandleSourceFailure(const FaultPolicy& policy, Status status,
+                           bool affects_completeness) {
+  if (status.ok()) return status;
+  const bool absorbable = policy.best_effort() ||
+                          (policy.recovers() && !affects_completeness);
+  if (absorbable && IsTransientError(status.code())) {
+    policy.NoteSkippedOperation(affects_completeness);
+    return Status::OK();
+  }
+  return status;
 }
 
 Status ParallelStatusFor(ThreadPool* pool, size_t n,
@@ -178,11 +190,18 @@ Status ParallelStatusFor(ThreadPool* pool, size_t n,
 }
 
 Result<std::vector<Document>> FetchDocs(const std::vector<std::string>& docids,
-                                        TextSource& source, ThreadPool* pool) {
+                                        TextSource& source, ThreadPool* pool,
+                                        const FaultPolicy& policy) {
   std::vector<Document> docs(docids.size());
   TEXTJOIN_RETURN_IF_ERROR(
       ParallelStatusFor(pool, docids.size(), [&](size_t i) -> Status {
-        TEXTJOIN_ASSIGN_OR_RETURN(docs[i], source.Fetch(docids[i]));
+        Result<Document> fetched = source.Fetch(docids[i]);
+        if (!fetched.ok()) {
+          // Absorbed => the slot keeps its placeholder Document.
+          return HandleSourceFailure(policy, fetched.status(),
+                                     /*affects_completeness=*/true);
+        }
+        docs[i] = *std::move(fetched);
         return Status::OK();
       }));
   return docs;
@@ -190,7 +209,8 @@ Result<std::vector<Document>> FetchDocs(const std::vector<std::string>& docids,
 
 Result<std::vector<Row>> FetchDocRows(const ResolvedSpec& rspec,
                                       const std::vector<std::string>& docids,
-                                      TextSource& source, ThreadPool* pool) {
+                                      TextSource& source, ThreadPool* pool,
+                                      const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   std::vector<Row> doc_rows(docids.size());
   if (!spec.need_document_fields) {
@@ -199,12 +219,28 @@ Result<std::vector<Row>> FetchDocRows(const ResolvedSpec& rspec,
     }
     return doc_rows;
   }
+  std::vector<char> skipped(docids.size(), 0);
   TEXTJOIN_RETURN_IF_ERROR(
       ParallelStatusFor(pool, docids.size(), [&](size_t i) -> Status {
-        TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docids[i]));
-        doc_rows[i] = DocumentToRow(spec.text, doc);
+        Result<Document> fetched = source.Fetch(docids[i]);
+        if (!fetched.ok()) {
+          TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
+              policy, fetched.status(), /*affects_completeness=*/true));
+          skipped[i] = 1;
+          return Status::OK();
+        }
+        doc_rows[i] = DocumentToRow(spec.text, *fetched);
         return Status::OK();
       }));
+  // Compact absorbed failures out, preserving order; callers iterate the
+  // rows and never index them by docid position.
+  size_t out = 0;
+  for (size_t i = 0; i < doc_rows.size(); ++i) {
+    if (skipped[i]) continue;
+    if (out != i) doc_rows[out] = std::move(doc_rows[i]);
+    ++out;
+  }
+  doc_rows.resize(out);
   return doc_rows;
 }
 

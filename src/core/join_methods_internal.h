@@ -80,10 +80,27 @@ std::map<std::vector<std::string>, std::vector<size_t>> GroupByTerms(
 Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask);
 
 /// Charges `docs_scanned` relational string-matching operations (the c_a
-/// component) to the source's meter when the source is metered. The
-/// matching itself happens on the database side, but the experiment harness
-/// reads one combined meter, as the paper reports one combined time.
+/// component) to the source's meter when the source is metered (decorator
+/// chains are unwrapped to find the metered source). The matching itself
+/// happens on the database side, but the experiment harness reads one
+/// combined meter, as the paper reports one combined time.
 void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned);
+
+/// Decides the fate of a failed source operation under `policy`:
+/// returns OK (failure absorbed, recorded in the degradation sink) when the
+/// policy may continue without this operation, the failure status
+/// otherwise. A transient failure is absorbed under best-effort always,
+/// and under retry-then-fail only when `affects_completeness` is false
+/// (advisory operations — reducer probes, cache probes — can be dropped
+/// without changing the answer). Permanent errors always propagate: they
+/// are query bugs, not faults.
+Status HandleSourceFailure(const FaultPolicy& policy, Status status,
+                           bool affects_completeness);
+
+/// True for the placeholder a best-effort fetch skip leaves behind (slot
+/// alignment is preserved for callers that index fetched documents by
+/// position; real documents always carry a docid).
+inline bool IsPlaceholderDoc(const Document& doc) { return doc.docid.empty(); }
 
 /// Runs `fn(0) .. fn(n-1)` — concurrently via `pool` when non-null — and
 /// returns the first non-OK status in *index* order (deterministic no
@@ -95,15 +112,22 @@ Status ParallelStatusFor(ThreadPool* pool, size_t n,
 /// Fetches the long form of `docids` in order, overlapping the fetch
 /// round-trips via `pool`. Exactly one Fetch per docid (the caller is
 /// responsible for deduplication), so the meter matches serial execution.
+/// Under a best-effort policy, a fetch that fails transiently leaves an
+/// empty placeholder Document in its slot (see IsPlaceholderDoc) so the
+/// returned vector stays aligned with `docids`.
 Result<std::vector<Document>> FetchDocs(const std::vector<std::string>& docids,
-                                        TextSource& source, ThreadPool* pool);
+                                        TextSource& source, ThreadPool* pool,
+                                        const FaultPolicy& policy = {});
 
 /// Builds the text-side rows for `docids`, in order: long-form fetches
 /// (overlapped via `pool`) when the spec needs document fields, docid-only
-/// rows otherwise.
+/// rows otherwise. Under a best-effort policy, rows whose fetch failed
+/// transiently are dropped from the output (callers only iterate, never
+/// index by docid position).
 Result<std::vector<Row>> FetchDocRows(const ResolvedSpec& rspec,
                                       const std::vector<std::string>& docids,
-                                      TextSource& source, ThreadPool* pool);
+                                      TextSource& source, ThreadPool* pool,
+                                      const FaultPolicy& policy = {});
 
 }  // namespace textjoin::internal
 

@@ -36,7 +36,8 @@ Row TermsToRow(const std::vector<std::string>& terms) {
 Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
                                      TextSource& source, PredicateMask mask,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool,
+                                     const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
   const PredicateMask all = FullMask(spec.joins.size());
@@ -70,14 +71,22 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
 
     // Full tuple-substitution search for this combination.
     TextQueryPtr search = BuildSearch(rspec, terms, all);
-    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                              source.Search(*search));
+    Result<std::vector<std::string>> searched = source.Search(*search);
+    if (!searched.ok()) {
+      // Best-effort: drop the combination — and learn nothing for the
+      // cache (the outcome is unknown, so no probe is sent either).
+      TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
+          policy, searched.status(), /*affects_completeness=*/true));
+      continue;
+    }
+    const std::vector<std::string>& docids = *searched;
     if (!docids.empty()) {
       // A successful full query implies the probe would succeed; remember
       // it without spending an invocation.
       cache.Insert(probe_key, true);
-      TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Row> doc_rows,
-                                FetchDocRows(rspec, docids, source, pool));
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          std::vector<Row> doc_rows,
+          FetchDocRows(rspec, docids, source, pool, policy));
       for (size_t r : row_indices) {
         for (const Row& doc_row : doc_rows) {
           result.rows.push_back(ConcatRows(left_rows[r], doc_row));
@@ -91,9 +100,15 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
     // and the outcome is not already cached.
     if (!cached.has_value() && remaining_sharers[probe_terms] > 0) {
       TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
-      TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> probe_docs,
-                                source.Search(*probe));
-      cache.Insert(probe_key, !probe_docs.empty());
+      Result<std::vector<std::string>> probe_docs = source.Search(*probe);
+      if (!probe_docs.ok()) {
+        // The probe is purely advisory: its loss costs future skip
+        // opportunities, never rows, so a recovering policy absorbs it.
+        TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
+            policy, probe_docs.status(), /*affects_completeness=*/false));
+        continue;
+      }
+      cache.Insert(probe_key, !probe_docs->empty());
     }
   }
   return result;
@@ -102,7 +117,8 @@ Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
 Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
                                       const std::vector<Row>& left_rows,
                                       TextSource& source, PredicateMask mask,
-                                      ThreadPool* pool) {
+                                      ThreadPool* pool,
+                                      const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
   const PredicateMask all = FullMask(spec.joins.size());
@@ -133,8 +149,14 @@ Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
   std::vector<std::vector<std::string>> docids_per_group(groups.size());
   TEXTJOIN_RETURN_IF_ERROR(
       ParallelStatusFor(pool, groups.size(), [&](size_t g) -> Status {
-        TEXTJOIN_ASSIGN_OR_RETURN(docids_per_group[g],
-                                  source.Search(*probes[g]));
+        Result<std::vector<std::string>> searched =
+            source.Search(*probes[g]);
+        if (!searched.ok()) {
+          // Best-effort: the group's rows are missing from the answer.
+          return HandleSourceFailure(policy, searched.status(),
+                                     /*affects_completeness=*/true);
+        }
+        docids_per_group[g] = *std::move(searched);
         return Status::OK();
       }));
 
@@ -147,15 +169,20 @@ Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
       }
     }
   }
+  // FetchDocs keeps the slots aligned with distinct_docids even when a
+  // best-effort policy skips failed fetches (placeholder Documents), so
+  // docid_slot indexing below stays valid.
   TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
-                            FetchDocs(distinct_docids, source, pool));
+                            FetchDocs(distinct_docids, source, pool, policy));
 
   for (size_t g = 0; g < groups.size(); ++g) {
     const std::vector<std::string>& docids = docids_per_group[g];
     if (docids.empty()) continue;  // Fail: every agreeing tuple is skipped.
-    ChargeRelationalMatches(source, docids.size());
+    uint64_t scanned = 0;
     for (const std::string& docid : docids) {
       const Document& doc = docs[docid_slot.at(docid)];
+      if (IsPlaceholderDoc(doc)) continue;  // Fetch was skipped.
+      ++scanned;
       Row doc_row = DocumentToRow(spec.text, doc);
       for (size_t r : *group_rows[g]) {
         // The probe guaranteed the mask predicates; check the remainder.
@@ -164,6 +191,7 @@ Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
         }
       }
     }
+    ChargeRelationalMatches(source, scanned);
   }
   return result;
 }
@@ -176,7 +204,8 @@ Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
                                              const std::vector<Row>& left_rows,
                                              TextSource& source,
                                              PredicateMask probe_mask,
-                                             ThreadPool* pool) {
+                                             ThreadPool* pool,
+                                             const FaultPolicy& policy) {
   TEXTJOIN_RETURN_IF_ERROR(internal::ValidateProbeMask(spec, probe_mask));
   TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
                             internal::ResolveSpec(spec));
@@ -193,9 +222,17 @@ Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
   std::vector<char> matched(groups.size(), 0);
   TEXTJOIN_RETURN_IF_ERROR(internal::ParallelStatusFor(
       pool, groups.size(), [&](size_t g) -> Status {
-        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                                  source.Search(*probes[g]));
-        matched[g] = docids.empty() ? 0 : 1;
+        Result<std::vector<std::string>> docids = source.Search(*probes[g]);
+        if (!docids.ok()) {
+          // The reducer is advisory: an unknown probe outcome keeps the
+          // rows (a weaker reduction, never a wrong answer), so any
+          // recovering policy absorbs the failure.
+          TEXTJOIN_RETURN_IF_ERROR(internal::HandleSourceFailure(
+              policy, docids.status(), /*affects_completeness=*/false));
+          matched[g] = 1;
+          return Status::OK();
+        }
+        matched[g] = docids->empty() ? 0 : 1;
         return Status::OK();
       }));
   std::vector<bool> keep(left_rows.size(), false);

@@ -4,7 +4,8 @@ namespace textjoin::internal {
 
 Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
                                      const std::vector<Row>& left_rows,
-                                     TextSource& source, ThreadPool* pool) {
+                                     TextSource& source, ThreadPool* pool,
+                                     const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.selections.empty()) {
     // Without selections, the single text search would be unconstrained.
@@ -15,10 +16,17 @@ Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
 
-  // One search carrying only the selection conditions.
+  // One search carrying only the selection conditions. If it fails even
+  // under best-effort there is nothing to degrade to: the whole candidate
+  // set is unknown, so the result is empty and marked incomplete.
   TextQueryPtr search = BuildSelectionSearch(spec);
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                            source.Search(*search));
+  Result<std::vector<std::string>> searched = source.Search(*search);
+  if (!searched.ok()) {
+    TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
+        policy, searched.status(), /*affects_completeness=*/true));
+    return result;
+  }
+  const std::vector<std::string>& docids = *searched;
   if (docids.empty()) return result;
 
   // Fetch the long form of every candidate — the method's dominant cost,
@@ -26,18 +34,24 @@ Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
   // pool. The join predicates are then evaluated against full field text
   // on the relational side.
   TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
-                            FetchDocs(docids, source, pool));
+                            FetchDocs(docids, source, pool, policy));
 
   // Relational text processing: SQL string matching of every candidate
   // document. The meter charges c_a per document scanned, mirroring the
   // paper's "proportional to the number of the documents" model. Matching
   // is local CPU work; it parallelizes per document into indexed slots,
-  // assembled in document order for deterministic output.
-  ChargeRelationalMatches(source, docs.size());
+  // assembled in document order for deterministic output. Placeholder
+  // slots (best-effort fetch skips) are neither scanned nor charged.
+  uint64_t scanned = 0;
+  for (const Document& doc : docs) {
+    if (!IsPlaceholderDoc(doc)) ++scanned;
+  }
+  ChargeRelationalMatches(source, scanned);
   const PredicateMask all = FullMask(spec.joins.size());
   std::vector<std::vector<Row>> rows_per_doc(docs.size());
   ParallelFor(pool, docs.size(), [&](size_t d) {
     const Document& doc = docs[d];
+    if (IsPlaceholderDoc(doc)) return;
     Row doc_row = DocumentToRow(spec.text, doc);
     for (const Row& left : left_rows) {
       if (DocMatchesRow(rspec, left, doc, all)) {

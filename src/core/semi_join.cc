@@ -1,10 +1,71 @@
 #include "core/join_method_impls.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 namespace textjoin::internal {
 
 namespace {
+
+/// Builds the OR-batched search over the disjuncts [begin, end): the
+/// selection terms AND'ed with the OR of the per-combination disjuncts.
+TextQueryPtr BuildBatchQuery(
+    const ResolvedSpec& rspec,
+    const std::vector<std::vector<std::string>>& disjunct_terms,
+    size_t begin, size_t end) {
+  const ForeignJoinSpec& spec = *rspec.spec;
+  const PredicateMask all = FullMask(spec.joins.size());
+  std::vector<TextQueryPtr> disjuncts;
+  disjuncts.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    disjuncts.push_back(BuildDisjunct(rspec, disjunct_terms[i], all));
+  }
+  std::vector<TextQueryPtr> children;
+  for (const TextSelection& sel : spec.selections) {
+    children.push_back(TextQuery::Term(sel.field, sel.term));
+  }
+  children.push_back(TextQuery::Or(std::move(disjuncts)));
+  return TextQuery::And(std::move(children));
+}
+
+/// Method-level recovery for an OR-batch whose search failed transiently
+/// even through the resilience layer: split the disjunct range in half and
+/// try each half, recursing on halves that fail again. The base case is a
+/// single disjunct — one combination's per-tuple search; if even that
+/// fails, best-effort drops the disjunct (recorded as a skipped batch
+/// unit) while retry-then-fail propagates `failure`. Smaller searches give
+/// genuinely better odds: fewer terms, shorter server time, and each
+/// retry-wrapped sub-search gets a fresh retry budget.
+Result<std::vector<std::string>> RecoverBatch(
+    const ResolvedSpec& rspec,
+    const std::vector<std::vector<std::string>>& disjunct_terms,
+    size_t begin, size_t end, Status failure, TextSource& source,
+    const FaultPolicy& policy) {
+  if (end - begin == 1) {
+    if (policy.best_effort()) {
+      policy.NoteSkippedBatch(1);
+      return std::vector<std::string>{};
+    }
+    return failure;
+  }
+  policy.NoteResplit();
+  const size_t mid = begin + (end - begin) / 2;
+  std::vector<std::string> docids;
+  for (const auto& [half_begin, half_end] :
+       {std::pair{begin, mid}, std::pair{mid, end}}) {
+    Result<std::vector<std::string>> half = source.Search(
+        *BuildBatchQuery(rspec, disjunct_terms, half_begin, half_end));
+    if (!half.ok()) {
+      if (!IsTransientError(half.status().code())) return half.status();
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          half, RecoverBatch(rspec, disjunct_terms, half_begin, half_end,
+                             half.status(), source, policy));
+    }
+    docids.insert(docids.end(), half->begin(), half->end());
+  }
+  return docids;
+}
 
 /// Runs the OR-batched semi-join searches and returns the distinct matching
 /// docids, in first-seen order. Batch size respects the source's term
@@ -13,10 +74,12 @@ namespace {
 /// are independent searches and are issued concurrently across `pool`;
 /// answers land in per-batch slots and are merged in batch order, so the
 /// first-seen docid order (and hence every downstream result ordering) is
-/// identical to serial execution.
+/// identical to serial execution. A recovering policy re-splits failed
+/// batches (see RecoverBatch) serially, in batch order, after the parallel
+/// pass.
 Result<std::vector<std::string>> RunBatchedSemiJoin(
     const ResolvedSpec& rspec, const std::vector<Row>& left_rows,
-    TextSource& source, ThreadPool* pool) {
+    TextSource& source, ThreadPool* pool, const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   const PredicateMask all = FullMask(spec.joins.size());
   const auto groups = GroupByTerms(rspec, left_rows, all);
@@ -31,32 +94,51 @@ Result<std::vector<std::string>> RunBatchedSemiJoin(
   const size_t batch_capacity =
       std::max<size_t>(1, (m - selection_terms) / terms_per_disjunct);
 
-  // Materialize every batched search up front (deterministic group order).
-  std::vector<TextQueryPtr> batches;
-  std::vector<TextQueryPtr> pending;
-  auto seal = [&]() {
-    if (pending.empty()) return;
-    std::vector<TextQueryPtr> children;
-    for (const TextSelection& sel : spec.selections) {
-      children.push_back(TextQuery::Term(sel.field, sel.term));
-    }
-    children.push_back(TextQuery::Or(std::move(pending)));
-    pending.clear();
-    batches.push_back(TextQuery::And(std::move(children)));
-  };
+  // Materialize the disjunct terms (deterministic group order) and carve
+  // them into index ranges of at most batch_capacity disjuncts — keeping
+  // the ranges, rather than sealed opaque queries, is what lets recovery
+  // re-split a failed batch.
+  std::vector<std::vector<std::string>> disjunct_terms;
+  disjunct_terms.reserve(groups.size());
   for (const auto& [terms, row_indices] : groups) {
-    pending.push_back(BuildDisjunct(rspec, terms, all));
-    if (pending.size() >= batch_capacity) seal();
+    disjunct_terms.push_back(terms);
   }
-  seal();
+  struct BatchRange {
+    size_t begin;
+    size_t end;
+  };
+  std::vector<BatchRange> ranges;
+  for (size_t b = 0; b < disjunct_terms.size(); b += batch_capacity) {
+    ranges.push_back(
+        {b, std::min(b + batch_capacity, disjunct_terms.size())});
+  }
 
-  // Issue the batches concurrently, then merge serially in batch order.
-  std::vector<std::vector<std::string>> answers(batches.size());
+  // Issue the batches concurrently, capturing per-batch outcomes; merge
+  // and recovery run serially in batch order afterwards.
+  std::vector<std::vector<std::string>> answers(ranges.size());
+  std::vector<Status> outcomes(ranges.size(), Status::OK());
   TEXTJOIN_RETURN_IF_ERROR(
-      ParallelStatusFor(pool, batches.size(), [&](size_t b) -> Status {
-        TEXTJOIN_ASSIGN_OR_RETURN(answers[b], source.Search(*batches[b]));
+      ParallelStatusFor(pool, ranges.size(), [&](size_t b) -> Status {
+        Result<std::vector<std::string>> searched = source.Search(
+            *BuildBatchQuery(rspec, disjunct_terms, ranges[b].begin,
+                             ranges[b].end));
+        if (searched.ok()) {
+          answers[b] = *std::move(searched);
+        } else {
+          outcomes[b] = searched.status();
+        }
         return Status::OK();
       }));
+  for (size_t b = 0; b < ranges.size(); ++b) {
+    if (outcomes[b].ok()) continue;
+    if (!policy.recovers() || !IsTransientError(outcomes[b].code())) {
+      return std::move(outcomes[b]);
+    }
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        answers[b],
+        RecoverBatch(rspec, disjunct_terms, ranges[b].begin, ranges[b].end,
+                     outcomes[b], source, policy));
+  }
 
   std::vector<std::string> distinct_docids;
   std::set<std::string> seen;
@@ -72,7 +154,8 @@ Result<std::vector<std::string>> RunBatchedSemiJoin(
 
 Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source, ThreadPool* pool) {
+                                    TextSource& source, ThreadPool* pool,
+                                    const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.joins.empty()) {
     return Status::InvalidArgument("SJ requires text join predicates");
@@ -86,11 +169,11 @@ Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
   }
   TEXTJOIN_ASSIGN_OR_RETURN(
       std::vector<std::string> docids,
-      RunBatchedSemiJoin(rspec, left_rows, source, pool));
+      RunBatchedSemiJoin(rspec, left_rows, source, pool, policy));
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
   TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Row> doc_rows,
-                            FetchDocRows(rspec, docids, source, pool));
+                            FetchDocRows(rspec, docids, source, pool, policy));
   const Row null_left = NullLeftRow(spec.left_schema);
   for (Row& doc_row : doc_rows) {
     result.rows.push_back(ConcatRows(null_left, doc_row));
@@ -100,20 +183,26 @@ Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
 
 Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
                                        const std::vector<Row>& left_rows,
-                                       TextSource& source, ThreadPool* pool) {
+                                       TextSource& source, ThreadPool* pool,
+                                       const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.joins.empty()) {
     return Status::InvalidArgument("SJ+RTP requires text join predicates");
   }
   TEXTJOIN_ASSIGN_OR_RETURN(
       std::vector<std::string> docids,
-      RunBatchedSemiJoin(rspec, left_rows, source, pool));
+      RunBatchedSemiJoin(rspec, left_rows, source, pool, policy));
   // Fetch the distinct candidates once (fetches overlap across the pool),
   // then recover the pairing by relational text processing over all join
-  // predicates.
+  // predicates. Placeholder slots (best-effort fetch skips) are neither
+  // scanned nor charged.
   TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
-                            FetchDocs(docids, source, pool));
-  ChargeRelationalMatches(source, docs.size());
+                            FetchDocs(docids, source, pool, policy));
+  uint64_t scanned = 0;
+  for (const Document& doc : docs) {
+    if (!IsPlaceholderDoc(doc)) ++scanned;
+  }
+  ChargeRelationalMatches(source, scanned);
 
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
@@ -121,6 +210,7 @@ Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
   std::vector<std::vector<Row>> rows_per_doc(docs.size());
   ParallelFor(pool, docs.size(), [&](size_t d) {
     const Document& doc = docs[d];
+    if (IsPlaceholderDoc(doc)) return;
     Row doc_row = DocumentToRow(spec.text, doc);
     for (const Row& left : left_rows) {
       if (DocMatchesRow(rspec, left, doc, all)) {

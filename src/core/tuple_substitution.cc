@@ -4,7 +4,8 @@ namespace textjoin::internal {
 
 Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
                                     const std::vector<Row>& left_rows,
-                                    TextSource& source, ThreadPool* pool) {
+                                    TextSource& source, ThreadPool* pool,
+                                    const FaultPolicy& policy) {
   const ForeignJoinSpec& spec = *rspec.spec;
   if (spec.selections.empty() && spec.joins.empty()) {
     return Status::InvalidArgument(
@@ -37,15 +38,21 @@ Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
   std::vector<std::vector<Row>> doc_rows_per_group(groups.size());
   TEXTJOIN_RETURN_IF_ERROR(
       ParallelStatusFor(pool, groups.size(), [&](size_t g) -> Status {
-        TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                                  source.Search(*searches[g]));
-        if (docids.empty()) return Status::OK();
+        Result<std::vector<std::string>> searched =
+            source.Search(*searches[g]);
+        if (!searched.ok()) {
+          // Best-effort: the whole combination is dropped (its rows are
+          // missing from the answer).
+          return HandleSourceFailure(policy, searched.status(),
+                                     /*affects_completeness=*/true);
+        }
+        if (searched->empty()) return Status::OK();
         // Fetches within one group run serially — cross-group overlap
         // already keeps the pool busy — unless there is only one group.
         TEXTJOIN_ASSIGN_OR_RETURN(
             doc_rows_per_group[g],
-            FetchDocRows(rspec, docids, source,
-                         groups.size() == 1 ? pool : nullptr));
+            FetchDocRows(rspec, *searched, source,
+                         groups.size() == 1 ? pool : nullptr, policy));
         return Status::OK();
       }));
 

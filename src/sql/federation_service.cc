@@ -72,12 +72,42 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
 
   // A private source per call isolates its meter: the outcome's delta is
   // exact even when other Run()s execute concurrently on other threads.
+  // Execution sees the source through the optional decorator stack:
+  //   meter -> [chaos/test decorator] -> [resilient wrapper] -> executor.
+  // Retries re-issue through the meter, so their traffic is charged; the
+  // breaker is the service-wide one, shared across calls.
   RemoteTextSource call_source(engine_);
-  PlanExecutor executor(catalog_, &call_source,
-                        ExecutorOptions{options_.parallelism}, pool_.get());
+  TextSource* exec_source = &call_source;
+  std::unique_ptr<TextSource> decorated;
+  if (options_.execution_source_decorator) {
+    decorated = options_.execution_source_decorator(&call_source);
+    if (decorated != nullptr) exec_source = decorated.get();
+  }
+  std::unique_ptr<ResilientTextSource> resilient;
+  const uint64_t opens_before =
+      breaker_ != nullptr ? breaker_->times_opened() : 0;
+  if (options_.enable_resilience) {
+    resilient = std::make_unique<ResilientTextSource>(
+        exec_source, options_.resilience, breaker_.get());
+    exec_source = resilient.get();
+  }
+  ExecutorOptions exec_options;
+  exec_options.parallelism = options_.parallelism;
+  exec_options.failure_mode = options_.failure_mode;
+  PlanExecutor executor(catalog_, exec_source, exec_options, pool_.get());
   QueryOutcome outcome;
-  TEXTJOIN_ASSIGN_OR_RETURN(outcome.rows,
-                            executor.Execute(*plan, query, &outcome.profile));
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      outcome.rows, executor.Execute(*plan, query, &outcome.profile,
+                                     &outcome.degradation));
+  if (resilient != nullptr) {
+    const ResilienceStats stats = resilient->stats();
+    outcome.degradation.retries = stats.retries;
+    outcome.degradation.deadline_hits = stats.deadline_hits;
+    outcome.degradation.breaker_rejections = stats.breaker_rejections;
+    outcome.degradation.breaker_opens =
+        breaker_ != nullptr ? breaker_->times_opened() - opens_before
+                            : stats.breaker_opens;
+  }
   outcome.meter_delta = call_source.meter();
   outcome.chosen_plan = plan->ToString(query);
   outcome.plan = std::move(plan);

@@ -1,6 +1,7 @@
 #ifndef TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 #define TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -9,6 +10,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "connector/remote_text_source.h"
+#include "connector/resilience.h"
 #include "core/enumerator.h"
 #include "core/executor.h"
 #include "core/statistics.h"
@@ -42,6 +44,12 @@ struct QueryOutcome {
   /// The executed plan; owning it here keeps `profile`'s keys valid for
   /// as long as the outcome lives (e.g. for ExplainAnalyze rendering).
   PlanNodePtr plan;
+
+  /// The honest account of this execution's degradation: retries and
+  /// breaker activity absorbed by the resilience layer, plus whatever a
+  /// non-fail-fast failure mode skipped. `degradation.complete` is the
+  /// headline — when true, `rows` is exactly the fault-free answer.
+  DegradationReport degradation;
 };
 
 /// A federation of one relational catalog and one external text source.
@@ -68,6 +76,27 @@ class FederationService {
     int parallelism = 1;
 
     EnumeratorOptions enumerator;   ///< Plan-space knobs.
+
+    /// Wraps each query's execution source in a ResilientTextSource
+    /// (retries, deadlines, circuit breaker — see `resilience`). The
+    /// breaker is owned by the service and shared across queries, so a
+    /// struggling remote fails fast for every caller, not once per query.
+    bool enable_resilience = false;
+    ResilienceOptions resilience;
+
+    /// What execution does when an operation fails even after the
+    /// resilience layer gave up (see FailureMode). Fail-fast reproduces
+    /// the historical behavior; best-effort returns partial results with
+    /// an honest QueryOutcome::degradation report.
+    FailureMode failure_mode = FailureMode::kFailFast;
+
+    /// Test/chaos hook: wraps the per-query execution source (after the
+    /// meter, before resilience). Used to inject faults between the
+    /// resilience layer and the engine; returning null leaves the source
+    /// unwrapped. The returned decorator lives for the duration of the
+    /// Run() call.
+    std::function<std::unique_ptr<TextSource>(TextSource*)>
+        execution_source_decorator;
   };
 
   /// All pointers must outlive the service.
@@ -80,6 +109,10 @@ class FederationService {
         rng_(options_.sampling_seed) {
     if (options_.parallelism > 1) {
       pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
+    }
+    if (options_.enable_resilience && options_.resilience.enable_breaker) {
+      breaker_ = std::make_unique<CircuitBreaker>(options_.resilience.breaker,
+                                                  options_.resilience.clock);
     }
   }
 
@@ -117,6 +150,10 @@ class FederationService {
   /// Charges incurred acquiring statistics (sampling mode only).
   AccessMeter stats_meter() const { return stats_source_.meter(); }
 
+  /// The service-wide circuit breaker shared by every query's resilient
+  /// source; null unless resilience (with breaker) is enabled.
+  CircuitBreaker* breaker() const { return breaker_.get(); }
+
   /// The statistics cache (exposed for inspection/preloading). Not
   /// synchronized — do not touch while Run() is in flight elsewhere.
   StatsRegistry& stats() { return registry_; }
@@ -149,6 +186,10 @@ class FederationService {
 
   /// Shared helper threads for parallel execution (null when serial).
   std::unique_ptr<ThreadPool> pool_;
+
+  /// One breaker for the remote, shared across per-query resilient
+  /// sources (thread-safe). Null when resilience is off.
+  std::unique_ptr<CircuitBreaker> breaker_;
 };
 
 }  // namespace textjoin

@@ -43,6 +43,11 @@ class SearchableCorpus {
 
   virtual size_t num_documents() const = 0;
   virtual size_t max_search_terms() const = 0;
+
+  /// How many concurrent const-method calls the corpus tolerates; 0 means
+  /// unlimited. The connector surfaces this through
+  /// TextSource::max_concurrency so executors can clamp their parallelism.
+  virtual int max_concurrency() const { return 0; }
 };
 
 }  // namespace textjoin

@@ -319,14 +319,19 @@ Result<PostingList> DiskPostingIndex::ReadList(
     const std::string& field, const std::string& token) const {
   auto it = directory_.find({field, ToLower(token)});
   if (it == directory_.end()) return PostingList{};
-  if (std::fseek(file_, static_cast<long>(it->second.offset), SEEK_SET) !=
-      0) {
-    return Status::Internal("seek failed in index file");
-  }
   std::string encoded(it->second.bytes, '\0');
-  if (std::fread(encoded.data(), 1, encoded.size(), file_) !=
-      encoded.size()) {
-    return Status::InvalidArgument("corrupt or truncated index file");
+  {
+    // The handle's file position is shared state; only the seek+read pair
+    // needs the lock (decoding below works on the private buffer).
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (std::fseek(file_, static_cast<long>(it->second.offset), SEEK_SET) !=
+        0) {
+      return Status::Internal("seek failed in index file");
+    }
+    if (std::fread(encoded.data(), 1, encoded.size(), file_) !=
+        encoded.size()) {
+      return Status::InvalidArgument("corrupt or truncated index file");
+    }
   }
   PostingList list;
   list.reserve(it->second.postings);

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 #include <memory>
@@ -61,6 +62,8 @@ class DiskPostingIndex {
 
   /// Reads the posting list for (field, token) from disk; empty list if
   /// the token is not in the directory. `token` is matched lowercase.
+  /// Safe to call concurrently: the shared seek+read on the single file
+  /// handle is serialized internally.
   Result<PostingList> ReadList(const std::string& field,
                                const std::string& token) const;
 
@@ -87,6 +90,9 @@ class DiskPostingIndex {
   explicit DiskPostingIndex(std::FILE* file) : file_(file) {}
 
   std::FILE* file_;
+  /// Serializes the fseek+fread pair in ReadList: the file position is
+  /// state shared by every reader of the single handle.
+  mutable std::mutex io_mu_;
   std::map<std::pair<std::string, std::string>, DirectoryEntry> directory_;
 };
 
@@ -95,9 +101,11 @@ class DiskPostingIndex {
 /// list is read from the index file on demand — exactly the architecture
 /// of [DH91] that the paper's Section 2.1 assumes.
 ///
-/// Thread-compatibility: unlike TextEngine (whose const methods are safe
-/// to call concurrently), Search/ReadList share one seekable file handle
-/// and require external synchronization.
+/// Thread-safety: const methods are safe to call concurrently, like
+/// TextEngine's. The one piece of shared mutable state — the file position
+/// of the single index handle — is serialized inside
+/// DiskPostingIndex::ReadList, so concurrent searches interleave their
+/// posting-list reads without racing.
 class DiskTextEngine final : public SearchableCorpus {
  public:
   /// Opens a corpus file + index file pair written by WriteCorpusFile /

@@ -1,10 +1,10 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <memory>
 #include <set>
 
 #include "common/random.h"
+#include "connector/chaos.h"
 #include "connector/remote_text_source.h"
 #include "core/enumerator.h"
 #include "core/executor.h"
@@ -20,37 +20,11 @@ using textjoin::testing::MakeSmallEngine;
 using textjoin::testing::MakeStudentTable;
 using textjoin::testing::MercuryDecl;
 
-/// A text source that fails every `period`-th call — models a flaky remote
-/// server. Join methods must propagate the failure as a Status (never
-/// crash, never return partial results as success).
-class FlakyTextSource final : public TextSource {
- public:
-  FlakyTextSource(TextSource* inner, int period)
-      : inner_(inner), period_(period) {}
-
-  Result<std::vector<std::string>> Search(
-      const TextQuery& query) const override {
-    if (++calls_ % period_ == 0) {
-      return Status::Internal("injected search failure");
-    }
-    return inner_->Search(query);
-  }
-  Result<Document> Fetch(const std::string& docid) const override {
-    if (++calls_ % period_ == 0) {
-      return Status::Internal("injected fetch failure");
-    }
-    return inner_->Fetch(docid);
-  }
-  size_t max_search_terms() const override {
-    return inner_->max_search_terms();
-  }
-  size_t num_documents() const override { return inner_->num_documents(); }
-
- private:
-  TextSource* inner_;
-  int period_;
-  mutable std::atomic<int> calls_{0};
-};
+// Periodic fault injection comes from the library's ChaosTextSource
+// (connector/chaos.h) in failure_period mode — every period-th operation
+// fails. Join methods must propagate the failure as a Status (never crash,
+// never return partial results as success) under the default fail-fast
+// policy.
 
 class FlakySourceTest : public ::testing::TestWithParam<int> {
  protected:
@@ -89,7 +63,10 @@ TEST_P(FlakySourceTest, MethodsFailCleanlyOrSucceedExactly) {
       {JoinMethodKind::kPRTP, 0b10},
   };
   for (const auto& [method, mask] : methods) {
-    FlakyTextSource flaky(&inner_, period);
+    ChaosOptions chaos_options;
+    chaos_options.failure_period = period;
+    chaos_options.failure_code = StatusCode::kInternal;
+    ChaosTextSource flaky(&inner_, chaos_options);
     auto result =
         ExecuteForeignJoin(method, Spec(), table_->rows(), flaky, mask);
     if (result.ok()) {
