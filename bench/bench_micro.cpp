@@ -86,13 +86,16 @@ void BM_IndexBuild(benchmark::State& state) {
     state.ResumeTiming();
     for (size_t d = 0; d < docs; ++d) {
       Document doc;
-      doc.docid = "d" + std::to_string(d);
+      doc.docid = std::string("d") + std::to_string(d);
       std::string title;
       for (int w = 0; w < 8; ++w) {
-        title += "w" + std::to_string(rng.Uniform(0, 2000)) + " ";
+        title += "w";
+        title += std::to_string(rng.Uniform(0, 2000));
+        title += ' ';
       }
       doc.fields["title"] = {title};
-      doc.fields["author"] = {"a" + std::to_string(rng.Uniform(0, 200))};
+      doc.fields["author"] = {std::string("a") +
+                              std::to_string(rng.Uniform(0, 200))};
       benchmark::DoNotOptimize(engine.AddDocument(std::move(doc)));
     }
   }
@@ -109,14 +112,17 @@ class SearchFixture : public benchmark::Fixture {
     Rng rng(11);
     for (size_t d = 0; d < 20000; ++d) {
       Document doc;
-      doc.docid = "d" + std::to_string(d);
+      doc.docid = std::string("d") + std::to_string(d);
       std::string title;
       for (int w = 0; w < 8; ++w) {
-        title += "w" + std::to_string(rng.Uniform(0, 3000)) + " ";
+        title += "w";
+        title += std::to_string(rng.Uniform(0, 3000));
+        title += ' ';
       }
       doc.fields["title"] = {title};
-      doc.fields["author"] = {"a" + std::to_string(rng.Uniform(0, 500)),
-                              "a" + std::to_string(rng.Uniform(0, 500))};
+      doc.fields["author"] = {
+          std::string("a") + std::to_string(rng.Uniform(0, 500)),
+          std::string("a") + std::to_string(rng.Uniform(0, 500))};
       TEXTJOIN_CHECK(engine->AddDocument(std::move(doc)).ok(), "add");
     }
   }
@@ -140,7 +146,8 @@ BENCHMARK_F(SearchFixture, BM_SearchConjunction)(benchmark::State& state) {
 BENCHMARK_F(SearchFixture, BM_SearchBigDisjunction)(benchmark::State& state) {
   std::vector<TextQueryPtr> terms;
   for (int i = 0; i < 60; ++i) {
-    terms.push_back(TextQuery::Term("author", "a" + std::to_string(i)));
+    terms.push_back(
+        TextQuery::Term("author", std::string("a") + std::to_string(i)));
   }
   auto q = TextQuery::Or(std::move(terms));
   for (auto _ : state) {
@@ -153,7 +160,9 @@ void BM_ProbeCache(benchmark::State& state) {
   Rng rng(3);
   std::vector<Row> keys;
   for (int i = 0; i < 1000; ++i) {
-    keys.push_back({Value::Str("k" + std::to_string(i))});
+    std::string key = "k";
+    key += std::to_string(i);
+    keys.push_back({Value::Str(std::move(key))});
     cache.Insert(keys.back(), i % 2 == 0);
   }
   size_t i = 0;
@@ -216,7 +225,7 @@ void BM_DiskListRead(benchmark::State& state) {
   TEXTJOIN_CHECK(disk.ok(), "open");
   size_t i = 0;
   for (auto _ : state) {
-    const std::string token = "p0v" + std::to_string(i++ % 50);
+    const std::string token = std::string("p0v") + std::to_string(i++ % 50);
     benchmark::DoNotOptimize((*disk)->ReadList("author", token));
   }
 }
@@ -234,7 +243,7 @@ void BM_MemoryListLookup(benchmark::State& state) {
   }();
   size_t i = 0;
   for (auto _ : state) {
-    const std::string token = "p0v" + std::to_string(i++ % 50);
+    const std::string token = std::string("p0v") + std::to_string(i++ % 50);
     benchmark::DoNotOptimize(kEngine->index().Lookup("author", token));
   }
 }

@@ -107,7 +107,7 @@ int Run() {
     ScenarioConfig sc;
     for (size_t i = 0; i < n; ++i) {
       sc.relations.push_back(
-          {"r" + std::to_string(i), 50, {{"k", 10}}});
+          {std::string("r") + std::to_string(i), 50, {{"k", 10}}});
     }
     sc.predicates = {{"r0", "name", "author", 10, 0.3, 1.0}};
     sc.num_documents = 500;
@@ -115,14 +115,14 @@ int Run() {
     TEXTJOIN_CHECK(chain.ok(), "chain");
     FederatedQuery cq;
     for (size_t i = 0; i < n; ++i) {
-      cq.relations.push_back({"r" + std::to_string(i), ""});
+      cq.relations.push_back({std::string("r") + std::to_string(i), ""});
     }
     cq.text = chain->text;
     cq.has_text_relation = true;
     for (size_t i = 0; i + 1 < n; ++i) {
       cq.relational_predicates.push_back(
-          Eq(Col("r" + std::to_string(i) + ".k"),
-             Col("r" + std::to_string(i + 1) + ".k")));
+          Eq(Col(std::string("r") + std::to_string(i) + ".k"),
+             Col(std::string("r") + std::to_string(i + 1) + ".k")));
     }
     cq.text_joins = {{"r0.name", "author"}};
     StatsRegistry creg;

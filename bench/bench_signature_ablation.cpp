@@ -36,10 +36,13 @@ Measurement Measure(size_t num_docs) {
   Rng rng(99);
   for (size_t d = 0; d < num_docs; ++d) {
     Document doc;
-    doc.docid = "d" + std::to_string(d);
+    doc.docid = "d";
+    doc.docid += std::to_string(d);
     std::string title;
     for (int w = 0; w < 12; ++w) {
-      title += "tok" + std::to_string(rng.Uniform(0, 3000)) + " ";
+      title += "tok";
+      title += std::to_string(rng.Uniform(0, 3000));
+      title += ' ';
     }
     doc.fields["title"] = {title};
     TEXTJOIN_CHECK(engine.AddDocument(std::move(doc)).ok(), "add");
@@ -51,7 +54,9 @@ Measurement Measure(size_t num_docs) {
   const int kQueries = 60;
   std::vector<std::string> tokens;
   for (int q = 0; q < kQueries; ++q) {
-    tokens.push_back("tok" + std::to_string(rng.Uniform(0, 3000)));
+    std::string token = "tok";
+    token += std::to_string(rng.Uniform(0, 3000));
+    tokens.push_back(std::move(token));
   }
 
   Measurement m;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Local tier-1 gate, mirroring CI: build + ctest in Release and under each
-# sanitizer. Run from anywhere; builds land in <repo>/build-check-*.
+# Local tier-1 gate, mirroring CI: build + ctest in Release (strict:
+# -Werror, plus a clang-format check when the binary is available) and
+# under each sanitizer. Run from anywhere; builds land in
+# <repo>/build-check-*.
 #
 #   scripts/check.sh            # Release + address + thread
-#   scripts/check.sh release    # just the Release leg
+#   scripts/check.sh release    # just the strict Release leg
 #   scripts/check.sh thread     # just the TSan leg (parallel/chaos paths)
 set -euo pipefail
 
@@ -15,12 +17,22 @@ fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Formatting gate, mirroring the CI strict job. Skipped gracefully when no
+# clang-format is installed (the compile legs still run).
+if command -v clang-format >/dev/null 2>&1; then
+  echo "==> clang-format check"
+  (cd "$repo" && git ls-files '*.h' '*.cc' '*.cpp' |
+    xargs clang-format --dry-run --Werror)
+else
+  echo "==> clang-format not found; skipping format check"
+fi
+
 for leg in "${legs[@]}"; do
   case "$leg" in
     release)
       build="$repo/build-check-release"
       cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
-        -DTEXTJOIN_SANITIZE=
+        -DTEXTJOIN_SANITIZE= -DTEXTJOIN_WERROR=ON
       ;;
     address | thread)
       build="$repo/build-check-$leg"

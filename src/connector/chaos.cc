@@ -19,24 +19,36 @@ constexpr uint64_t kFailSalt = 0x1;
 constexpr uint64_t kSpikeSalt = 0x2;
 constexpr uint64_t kTruncateSalt = 0x3;
 
+/// Deterministic FNV-1a over the content string (std::hash is
+/// implementation-defined; fault sets must not depend on the toolchain).
+uint64_t HashContent(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
-double ChaosTextSource::Draw(uint64_t ordinal, uint64_t salt) const {
-  const uint64_t h = Mix64(options_.seed ^ Mix64(ordinal ^ (salt << 56)));
+double ChaosTextSource::Draw(uint64_t key, uint64_t salt) const {
+  const uint64_t h = Mix64(options_.seed ^ Mix64(key ^ (salt << 56)));
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-bool ChaosTextSource::ShouldFail(uint64_t ordinal, double rate) const {
+bool ChaosTextSource::ShouldFail(uint64_t ordinal, uint64_t key,
+                                 double rate) const {
   if (options_.failure_period > 0 &&
       ordinal % static_cast<uint64_t>(options_.failure_period) == 0) {
     return true;
   }
-  return rate > 0.0 && Draw(ordinal, kFailSalt) < rate;
+  return rate > 0.0 && Draw(key, kFailSalt) < rate;
 }
 
-void ChaosTextSource::MaybeSpike(uint64_t ordinal) const {
+void ChaosTextSource::MaybeSpike(uint64_t key) const {
   if (options_.latency_spike_rate <= 0.0 ||
-      Draw(ordinal, kSpikeSalt) >= options_.latency_spike_rate) {
+      Draw(key, kSpikeSalt) >= options_.latency_spike_rate) {
     return;
   }
   latency_spikes_.fetch_add(1, std::memory_order_relaxed);
@@ -48,15 +60,17 @@ void ChaosTextSource::MaybeSpike(uint64_t ordinal) const {
 Result<std::vector<std::string>> ChaosTextSource::Search(
     const TextQuery& query) const {
   const uint64_t ordinal = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
-  MaybeSpike(ordinal);
-  if (ShouldFail(ordinal, options_.search_failure_rate)) {
+  const uint64_t key =
+      options_.content_keyed ? HashContent(query.ToString()) : ordinal;
+  MaybeSpike(key);
+  if (ShouldFail(ordinal, key, options_.search_failure_rate)) {
     search_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status(options_.failure_code, "chaos: injected search failure");
   }
   Result<std::vector<std::string>> result = inner_->Search(query);
   if (!result.ok()) return result;
   if (options_.truncate_rate > 0.0 && result->size() > 1 &&
-      Draw(ordinal, kTruncateSalt) < options_.truncate_rate) {
+      Draw(key, kTruncateSalt) < options_.truncate_rate) {
     truncated_.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::string> docids = std::move(result).value();
     docids.resize(docids.size() / 2);
@@ -67,8 +81,13 @@ Result<std::vector<std::string>> ChaosTextSource::Search(
 
 Result<Document> ChaosTextSource::Fetch(const std::string& docid) const {
   const uint64_t ordinal = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
-  MaybeSpike(ordinal);
-  if (ShouldFail(ordinal, options_.fetch_failure_rate)) {
+  // Salt the docid hash so a fetch and a search over equal strings draw
+  // independently.
+  const uint64_t key = options_.content_keyed
+                           ? HashContent(docid) ^ 0x5bd1e995ULL
+                           : ordinal;
+  MaybeSpike(key);
+  if (ShouldFail(ordinal, key, options_.fetch_failure_rate)) {
     fetch_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status(options_.failure_code, "chaos: injected fetch failure");
   }

@@ -20,12 +20,22 @@
 
 namespace textjoin {
 
-/// What to inject. All injections are decided from a seeded hash of the
-/// operation's global ordinal, so a serial execution is exactly
+/// What to inject. By default injections are decided from a seeded hash of
+/// the operation's global ordinal, so a serial execution is exactly
 /// reproducible; under concurrency the multiset of injected faults is
 /// fixed even though their assignment to operations follows the schedule.
+/// With `content_keyed` the decision hashes the operation's content
+/// instead (the search's rendered query / the fetched docid), so the SAME
+/// operations fail at ANY parallelism and schedule — the mode the
+/// byte-identity property tests need to compare parallel against serial
+/// execution under faults.
 struct ChaosOptions {
   uint64_t seed = 1;
+
+  /// Key fault decisions on operation content instead of arrival ordinal.
+  /// `failure_period` (below) stays ordinal-based — a period is inherently
+  /// a statement about the call sequence.
+  bool content_keyed = false;
 
   /// Probability that a Search / Fetch fails outright with `failure_code`.
   double search_failure_rate = 0.0;
@@ -75,11 +85,13 @@ class ChaosTextSource final : public TextSourceDecorator {
   ChaosStats stats() const;
 
  private:
-  /// Uniform draw in [0, 1) as a pure function of (seed, ordinal, salt).
-  double Draw(uint64_t ordinal, uint64_t salt) const;
-  /// Decides failure for operation `ordinal`; true = inject.
-  bool ShouldFail(uint64_t ordinal, double rate) const;
-  void MaybeSpike(uint64_t ordinal) const;
+  /// Uniform draw in [0, 1) as a pure function of (seed, key, salt). `key`
+  /// is the operation's ordinal or, under `content_keyed`, a hash of its
+  /// content.
+  double Draw(uint64_t key, uint64_t salt) const;
+  /// Decides failure; `ordinal` drives the period, `key` drives the rate.
+  bool ShouldFail(uint64_t ordinal, uint64_t key, double rate) const;
+  void MaybeSpike(uint64_t key) const;
 
   ChaosOptions options_;
   mutable std::atomic<uint64_t> ops_{0};

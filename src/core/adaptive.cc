@@ -4,16 +4,16 @@
 #include <set>
 #include <unordered_map>
 
-#include "core/join_methods_internal.h"
+#include "core/pipeline.h"
 
 namespace textjoin {
 
 Result<AdaptiveResult> ExecuteProbeRTPAdaptive(
     const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
     TextSource& source, PredicateMask probe_mask, size_t fetch_budget) {
-  TEXTJOIN_RETURN_IF_ERROR(internal::ValidateProbeMask(spec, probe_mask));
-  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
-                            internal::ResolveSpec(spec));
+  TEXTJOIN_RETURN_IF_ERROR(pipeline::ValidateProbeMask(spec, probe_mask));
+  TEXTJOIN_ASSIGN_OR_RETURN(pipeline::ResolvedSpec rspec,
+                            pipeline::ResolveSpec(spec));
   const PredicateMask all = FullMask(spec.joins.size());
 
   AdaptiveResult out;
@@ -21,12 +21,12 @@ Result<AdaptiveResult> ExecuteProbeRTPAdaptive(
 
   // Phase 1 — probes per distinct probe-column combination (short form).
   const auto probe_groups =
-      internal::GroupByTerms(rspec, left_rows, probe_mask);
+      pipeline::GroupByTerms(rspec, left_rows, probe_mask);
   std::map<std::vector<std::string>, std::vector<std::string>> probe_docs;
   std::set<std::string> distinct_candidates;
   for (const auto& [probe_terms, row_indices] : probe_groups) {
     TextQueryPtr probe =
-        internal::BuildSearch(rspec, probe_terms, probe_mask);
+        pipeline::BuildSearch(rspec, probe_terms, probe_mask);
     TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
                               source.Search(*probe));
     if (docids.empty()) continue;
@@ -52,11 +52,11 @@ Result<AdaptiveResult> ExecuteProbeRTPAdaptive(
         }
         combo_docs.push_back(&it->second);
       }
-      internal::ChargeRelationalMatches(source, combo_docs.size());
+      pipeline::ChargeRelationalMatches(source, combo_docs.size());
       for (const Document* doc : combo_docs) {
-        Row doc_row = internal::DocumentToRow(spec.text, *doc);
+        Row doc_row = pipeline::DocumentToRow(spec.text, *doc);
         for (size_t r : group_it->second) {
-          if (internal::DocMatchesRow(rspec, left_rows[r], *doc,
+          if (pipeline::DocMatchesRow(rspec, left_rows[r], *doc,
                                       all & ~probe_mask)) {
             out.join.rows.push_back(ConcatRows(left_rows[r], doc_row));
           }

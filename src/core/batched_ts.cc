@@ -2,65 +2,123 @@
 
 #include <cmath>
 
-#include "core/join_methods_internal.h"
+#include "core/pipeline.h"
 
 namespace textjoin {
 
 Result<ForeignJoinResult> ExecuteTupleSubstitutionBatched(
     const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
-    CooperativeTextSource& source) {
+    CooperativeTextSource& source, pipeline::PipelineProfile* stage_profile) {
+  using pipeline::DocFetcher;
+  using pipeline::OpTimer;
+  using pipeline::ScopedStageTimer;
+  using pipeline::StageKind;
+  using pipeline::StageScheduler;
   if (spec.selections.empty() && spec.joins.empty()) {
     return Status::InvalidArgument(
         "batched TS needs at least one text predicate to instantiate");
   }
-  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
-                            internal::ResolveSpec(spec));
+  TEXTJOIN_ASSIGN_OR_RETURN(pipeline::ResolvedSpec rspec,
+                            pipeline::ResolveSpec(spec));
   const PredicateMask all = FullMask(spec.joins.size());
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
 
-  const auto groups = internal::GroupByTerms(rspec, left_rows, all);
-  // Materialize the per-combination searches in deterministic order.
+  // The batched protocol is a serial conversation with the cooperative
+  // source, so the scheduler runs without a pool; it still provides the
+  // per-stage account and the shared fetch/assembly machinery.
+  StageScheduler sched(nullptr, source, FaultPolicy{});
+  const StageScheduler::StageId sd_keys =
+      sched.AddStage({StageKind::kDistinctKeys, "all-preds"});
+  const StageScheduler::StageId sd_build =
+      sched.AddStage({StageKind::kQueryBuild, "per-combination"});
+  const StageScheduler::StageId sd_search =
+      sched.AddStage({StageKind::kSearchDispatch, "batch-invoke"});
+  const StageScheduler::StageId sd_fetch = sched.AddStage(
+      {StageKind::kFetch,
+       spec.need_document_fields ? "long-form" : "docid-only"});
+  const StageScheduler::StageId sd_assemble =
+      sched.AddStage({StageKind::kAssemble, "group-order"});
+  const std::vector<StageScheduler::StageId> stage_ids = {
+      sd_keys, sd_build, sd_search, sd_fetch, sd_assemble};
+
+  pipeline::KeyGroups groups;
+  {
+    ScopedStageTimer timer(sched, sd_keys, 1);
+    groups = pipeline::GroupRowsByTerms(rspec, left_rows, all);
+  }
   std::vector<TextQueryPtr> searches;
-  std::vector<const std::vector<size_t>*> group_rows;
-  for (const auto& [terms, row_indices] : groups) {
-    searches.push_back(internal::BuildSearch(rspec, terms, all));
-    group_rows.push_back(&row_indices);
+  {
+    ScopedStageTimer timer(sched, sd_build, groups.size());
+    searches.reserve(groups.size());
+    for (const std::vector<std::string>& terms : groups.terms) {
+      searches.push_back(pipeline::BuildSearch(rspec, terms, all));
+    }
   }
 
+  // One answer vector per combination; fetches queue behind the batch
+  // conversation (exactly one Fetch per (combination, docid) occurrence —
+  // no cross-combination cache, the paper's c_l * V accounting).
+  DocFetcher fetcher(sched, sd_fetch);
+  std::vector<std::vector<std::string>> docids_per_group(groups.size());
+  std::vector<std::vector<size_t>> slots_per_group(groups.size());
   for (size_t start = 0; start < searches.size();
        start += source.max_batch_size()) {
     const size_t count =
         std::min(source.max_batch_size(), searches.size() - start);
+    ScopedStageTimer timer(sched, sd_search, 1);
     std::vector<const TextQuery*> batch;
     batch.reserve(count);
     for (size_t i = 0; i < count; ++i) {
       batch.push_back(searches[start + i].get());
     }
-    TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> answers,
-                              source.SearchBatch(batch));
+    std::vector<std::vector<std::string>> answers;
+    {
+      OpTimer op(sched, sd_search);
+      TEXTJOIN_ASSIGN_OR_RETURN(answers, source.SearchBatch(batch));
+    }
     TEXTJOIN_CHECK(answers.size() == count,
                    "batch answer correspondence violated");
+    uint64_t short_docs = 0;
     for (size_t i = 0; i < count; ++i) {
-      const std::vector<std::string>& docids = answers[i];
-      if (docids.empty()) continue;
-      std::vector<Row> doc_rows;
-      doc_rows.reserve(docids.size());
-      for (const std::string& docid : docids) {
-        if (spec.need_document_fields) {
-          TEXTJOIN_ASSIGN_OR_RETURN(Document doc, source.Fetch(docid));
-          doc_rows.push_back(internal::DocumentToRow(spec.text, doc));
-        } else {
-          doc_rows.push_back(internal::DocidOnlyRow(spec.text, docid));
+      short_docs += answers[i].size();
+      docids_per_group[start + i] = std::move(answers[i]);
+      if (spec.need_document_fields) {
+        for (const std::string& docid : docids_per_group[start + i]) {
+          slots_per_group[start + i].push_back(fetcher.Fetch(docid));
         }
       }
-      for (size_t r : *group_rows[start + i]) {
+    }
+    sched.AddStageCounts(sd_search, /*invocations=*/1, short_docs,
+                         /*long_docs=*/0);
+  }
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
+  {
+    ScopedStageTimer timer(sched, sd_assemble, 1);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (docids_per_group[g].empty()) continue;
+      std::vector<Row> doc_rows;
+      if (spec.need_document_fields) {
+        doc_rows.reserve(slots_per_group[g].size());
+        for (size_t slot : slots_per_group[g]) {
+          doc_rows.push_back(
+              pipeline::DocumentToRow(spec.text, fetcher.doc(slot)));
+        }
+      } else {
+        doc_rows.reserve(docids_per_group[g].size());
+        for (const std::string& docid : docids_per_group[g]) {
+          doc_rows.push_back(pipeline::DocidOnlyRow(spec.text, docid));
+        }
+      }
+      for (size_t r : groups.rows[g]) {
         for (const Row& doc_row : doc_rows) {
           result.rows.push_back(ConcatRows(left_rows[r], doc_row));
         }
       }
     }
   }
+  if (stage_profile != nullptr) *stage_profile = sched.Profile(stage_ids);
   return result;
 }
 

@@ -17,10 +17,14 @@
 namespace textjoin {
 
 /// Executes tuple substitution over a batching source. Produces exactly
-/// the same result rows as ExecuteForeignJoin(kTS, ...).
+/// the same result rows as ExecuteForeignJoin(kTS, ...). Runs on the
+/// staged pipeline (serial scheduler — the batch protocol is one
+/// conversation); `stage_profile`, when non-null, receives the per-stage
+/// account.
 Result<ForeignJoinResult> ExecuteTupleSubstitutionBatched(
     const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
-    CooperativeTextSource& source);
+    CooperativeTextSource& source,
+    pipeline::PipelineProfile* stage_profile = nullptr);
 
 /// The corresponding cost formula: CostTS with the invocation term divided
 /// by the batch size B.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "common/string_util.h"
@@ -58,9 +59,10 @@ ForeignJoinSpec PlanExecutor::BuildSpec(const FederatedQuery& query,
 Result<ExecutionResult> PlanExecutor::Exec(const PlanNode& node,
                                            const FederatedQuery& query,
                                            ExecutionProfile* profile,
-                                           const FaultPolicy& policy) {
+                                           const FaultPolicy& policy,
+                                           pipeline::StageScheduler* sched) {
   TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result,
-                            ExecNode(node, query, profile, policy));
+                            ExecNode(node, query, profile, policy, sched));
   if (profile != nullptr) {
     profile->nodes[&node].actual_rows = result.rows.size();
   }
@@ -70,7 +72,8 @@ Result<ExecutionResult> PlanExecutor::Exec(const PlanNode& node,
 Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
                                                const FederatedQuery& query,
                                                ExecutionProfile* profile,
-                                               const FaultPolicy& policy) {
+                                               const FaultPolicy& policy,
+                                               pipeline::StageScheduler* sched) {
   switch (node.kind) {
     case PlanNode::Kind::kScan: {
       TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
@@ -92,8 +95,9 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       return result;
     }
     case PlanNode::Kind::kProbe: {
-      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult child,
-                                Exec(*node.left, query, profile, policy));
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          ExecutionResult child,
+          Exec(*node.left, query, profile, policy, sched));
       const AccessMeter before = MeterSnapshot(source_);
       ForeignJoinSpec spec;
       spec.left_schema = child.schema;
@@ -102,13 +106,16 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       for (size_t i : node.probe_pred_indices) {
         spec.joins.push_back(query.text_joins.at(i));
       }
+      pipeline::PipelineProfile stages;
       TEXTJOIN_ASSIGN_OR_RETURN(
           std::vector<Row> survivors,
           ProbeSemiJoinReduce(spec, child.rows, *source_,
-                              FullMask(spec.joins.size()), pool_, policy));
+                              FullMask(spec.joins.size()), pool_, policy,
+                              profile != nullptr ? &stages : nullptr, sched));
       if (profile != nullptr) {
-        profile->nodes[&node].meter_delta =
-            MeterDelta(MeterSnapshot(source_), before);
+        NodeProfile& np = profile->nodes[&node];
+        np.meter_delta = MeterDelta(MeterSnapshot(source_), before);
+        np.stages = std::move(stages);
       }
       ExecutionResult result;
       result.schema = child.schema;
@@ -116,17 +123,24 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       return result;
     }
     case PlanNode::Kind::kForeignJoin: {
-      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult child,
-                                Exec(*node.left, query, profile, policy));
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          ExecutionResult child,
+          Exec(*node.left, query, profile, policy, sched));
       const AccessMeter before = MeterSnapshot(source_);
       ForeignJoinSpec spec = BuildSpec(query, child.schema);
       TEXTJOIN_ASSIGN_OR_RETURN(
+          pipeline::Pipeline plan,
+          pipeline::Pipeline::Lower(node.method.method, spec,
+                                    node.method.probe_mask));
+      pipeline::PipelineProfile stages;
+      TEXTJOIN_ASSIGN_OR_RETURN(
           ForeignJoinResult joined,
-          ExecuteForeignJoin(node.method.method, spec, child.rows, *source_,
-                             node.method.probe_mask, pool_, policy));
+          plan.Execute(spec, child.rows, *source_, pool_, policy,
+                       profile != nullptr ? &stages : nullptr, sched));
       if (profile != nullptr) {
-        profile->nodes[&node].meter_delta =
-            MeterDelta(MeterSnapshot(source_), before);
+        NodeProfile& np = profile->nodes[&node];
+        np.meter_delta = MeterDelta(MeterSnapshot(source_), before);
+        np.stages = std::move(stages);
       }
       ExecutionResult result;
       result.schema = std::move(joined.schema);
@@ -134,10 +148,12 @@ Result<ExecutionResult> PlanExecutor::ExecNode(const PlanNode& node,
       return result;
     }
     case PlanNode::Kind::kRelationalJoin: {
-      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult lhs,
-                                Exec(*node.left, query, profile, policy));
-      TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult rhs,
-                                Exec(*node.right, query, profile, policy));
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          ExecutionResult lhs,
+          Exec(*node.left, query, profile, policy, sched));
+      TEXTJOIN_ASSIGN_OR_RETURN(
+          ExecutionResult rhs,
+          Exec(*node.right, query, profile, policy, sched));
       ExprPtr residual;
       std::vector<ExprPtr> residual_parts;
       for (const ExprPtr& c : node.conjuncts) {
@@ -322,7 +338,13 @@ Result<ExecutionResult> PlanExecutor::Execute(const PlanNode& root,
   FaultPolicy policy;
   policy.mode = options_.failure_mode;
   policy.degradation = &sink;
-  Result<ExecutionResult> executed = Exec(root, query, profile, policy);
+  // One scheduler for the whole plan: every probe reducer and the foreign
+  // join register their stages on it, so a multi-join PrL plan executes as
+  // one composed DAG sharing the pool, policy, and failure selection.
+  std::optional<pipeline::StageScheduler> sched;
+  if (source_ != nullptr) sched.emplace(pool_, *source_, policy);
+  Result<ExecutionResult> executed =
+      Exec(root, query, profile, policy, sched ? &*sched : nullptr);
   if (degradation != nullptr) *degradation = sink.Snapshot();
   TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result, std::move(executed));
   if (!query.aggregates.empty()) {
@@ -494,6 +516,17 @@ void RenderAnalyze(const PlanNode& node, const FederatedQuery& query,
     out += ")";
   }
   out += "\n";
+  // Pipeline-backed nodes (foreign join / probe) break down into their
+  // stages: one indented line per stage with wall-clock and meter deltas.
+  if (it != profile.nodes.end() && !it->second.stages.empty()) {
+    const std::string pad((indent + 1) * 2, ' ');
+    for (const pipeline::StageStats& stage : it->second.stages.stages) {
+      out += pad;
+      out += "| ";
+      out += stage.ToString();
+      out += "\n";
+    }
+  }
   if (node.left != nullptr) {
     RenderAnalyze(*node.left, query, profile, params, indent + 1, out);
   }

@@ -11,6 +11,7 @@
 #include "connector/resilience.h"
 #include "connector/text_source.h"
 #include "core/federated_query.h"
+#include "core/pipeline.h"
 #include "core/plan.h"
 #include "relational/catalog.h"
 
@@ -29,6 +30,10 @@ struct ExecutionResult {
 struct NodeProfile {
   size_t actual_rows = 0;     ///< Rows the node emitted.
   AccessMeter meter_delta;    ///< Text-source charges attributable to it.
+  /// Per-stage breakdown for nodes that run on the staged pipeline
+  /// (foreign-join and probe nodes): wall-clock and meter attribution per
+  /// stage. Empty for relational nodes.
+  pipeline::PipelineProfile stages;
 };
 
 /// Profile of one execution, keyed by plan node.
@@ -104,14 +109,19 @@ class PlanExecutor {
 
  private:
   /// Exec wraps ExecNode with profile bookkeeping (actual row counts).
+  /// `sched` is the execution's shared stage scheduler (null for plans
+  /// without a text source): every pipeline-backed node joins its DAG, so a
+  /// multi-join PrL plan executes as one composed pipeline.
   Result<ExecutionResult> Exec(const PlanNode& node,
                                const FederatedQuery& query,
                                ExecutionProfile* profile,
-                               const FaultPolicy& policy);
+                               const FaultPolicy& policy,
+                               pipeline::StageScheduler* sched);
   Result<ExecutionResult> ExecNode(const PlanNode& node,
                                    const FederatedQuery& query,
                                    ExecutionProfile* profile,
-                                   const FaultPolicy& policy);
+                                   const FaultPolicy& policy,
+                                   pipeline::StageScheduler* sched);
 
   /// Builds the foreign-join spec for the text join of `query` with
   /// `left_schema` as the outer side.

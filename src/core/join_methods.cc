@@ -1,7 +1,6 @@
 #include "core/join_methods.h"
 
-#include "core/join_method_impls.h"
-#include "core/join_methods_internal.h"
+#include "core/pipeline.h"
 
 namespace textjoin {
 
@@ -23,39 +22,15 @@ const char* JoinMethodName(JoinMethodKind kind) {
   return "?";
 }
 
-Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
-                                             const ForeignJoinSpec& spec,
-                                             const std::vector<Row>& left_rows,
-                                             TextSource& source,
-                                             PredicateMask probe_mask,
-                                             ThreadPool* pool,
-                                             const FaultPolicy& policy) {
-  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
-                            internal::ResolveSpec(spec));
-  const bool is_probe_method = method == JoinMethodKind::kPTS ||
-                               method == JoinMethodKind::kPRTP;
-  if (!is_probe_method && probe_mask != 0) {
-    return Status::InvalidArgument(
-        std::string("probe mask given to non-probing method ") +
-        JoinMethodName(method));
-  }
-  switch (method) {
-    case JoinMethodKind::kTS:
-      return internal::ExecuteTS(rspec, left_rows, source, pool, policy);
-    case JoinMethodKind::kRTP:
-      return internal::ExecuteRTP(rspec, left_rows, source, pool, policy);
-    case JoinMethodKind::kSJ:
-      return internal::ExecuteSJ(rspec, left_rows, source, pool, policy);
-    case JoinMethodKind::kSJRTP:
-      return internal::ExecuteSJRTP(rspec, left_rows, source, pool, policy);
-    case JoinMethodKind::kPTS:
-      return internal::ExecutePTS(rspec, left_rows, source, probe_mask, pool,
-                                  policy);
-    case JoinMethodKind::kPRTP:
-      return internal::ExecutePRTP(rspec, left_rows, source, probe_mask, pool,
-                                   policy);
-  }
-  TEXTJOIN_UNREACHABLE("bad JoinMethodKind");
+Result<ForeignJoinResult> ExecuteForeignJoin(
+    JoinMethodKind method, const ForeignJoinSpec& spec,
+    const std::vector<Row>& left_rows, TextSource& source,
+    PredicateMask probe_mask, ThreadPool* pool, const FaultPolicy& policy,
+    pipeline::PipelineProfile* stage_profile) {
+  TEXTJOIN_ASSIGN_OR_RETURN(
+      pipeline::Pipeline plan,
+      pipeline::Pipeline::Lower(method, spec, probe_mask));
+  return plan.Execute(spec, left_rows, source, pool, policy, stage_profile);
 }
 
 }  // namespace textjoin

@@ -23,6 +23,11 @@
 
 namespace textjoin {
 
+namespace pipeline {
+struct PipelineProfile;
+class StageScheduler;
+}  // namespace pipeline
+
 /// The six join methods of the paper.
 enum class JoinMethodKind {
   kTS,     ///< Tuple substitution (distinct-tuple variant).
@@ -87,13 +92,17 @@ struct ForeignJoinResult {
 /// and absorbs advisory failures that cannot change the answer.
 /// kBestEffort additionally skips failed units of work and reports the
 /// loss through the policy's AtomicDegradation sink.
-Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
-                                             const ForeignJoinSpec& spec,
-                                             const std::vector<Row>& left_rows,
-                                             TextSource& source,
-                                             PredicateMask probe_mask = 0,
-                                             ThreadPool* pool = nullptr,
-                                             const FaultPolicy& policy = {});
+///
+/// Every method executes as a staged pipeline (core/pipeline.h): this
+/// function lowers `method` to its stage composition and runs it. When
+/// `stage_profile` is non-null it receives the per-stage wall-clock and
+/// meter attribution of the execution.
+Result<ForeignJoinResult> ExecuteForeignJoin(
+    JoinMethodKind method, const ForeignJoinSpec& spec,
+    const std::vector<Row>& left_rows, TextSource& source,
+    PredicateMask probe_mask = 0, ThreadPool* pool = nullptr,
+    const FaultPolicy& policy = {},
+    pipeline::PipelineProfile* stage_profile = nullptr);
 
 /// The probe used as a semi-join reducer (Section 6, "Probe as a
 /// Semi-join"): sends one probe per distinct combination of the probe
@@ -104,12 +113,18 @@ Result<ForeignJoinResult> ExecuteForeignJoin(JoinMethodKind method,
 /// recovering `policy` (retry-then-fail or best-effort) absorbs probe
 /// failures by keeping the affected rows — the answer is unchanged, only
 /// the reduction is weaker.
-Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
-                                             const std::vector<Row>& left_rows,
-                                             TextSource& source,
-                                             PredicateMask probe_mask,
-                                             ThreadPool* pool = nullptr,
-                                             const FaultPolicy& policy = {});
+///
+/// Runs as a three-stage pipeline composition. When `scheduler` is
+/// non-null the reducer joins that scheduler's DAG (its pool/source/policy
+/// win and `pool`/`policy` are ignored) so a plan executor can compose the
+/// reduction with the join it feeds; `stage_profile` receives the
+/// reducer's per-stage account when non-null.
+Result<std::vector<Row>> ProbeSemiJoinReduce(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    TextSource& source, PredicateMask probe_mask, ThreadPool* pool = nullptr,
+    const FaultPolicy& policy = {},
+    pipeline::PipelineProfile* stage_profile = nullptr,
+    pipeline::StageScheduler* scheduler = nullptr);
 
 }  // namespace textjoin
 

@@ -1,0 +1,699 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <utility>
+
+#include "common/text_match.h"
+#include "connector/remote_text_source.h"
+
+namespace textjoin::pipeline {
+
+namespace {
+
+/// Source-operation time accrued on this thread inside the innermost
+/// currently-running unit or ScopedStageTimer scope. OpTimer adds to it;
+/// unit / scope self-time subtracts it, so per-stage wall-clock figures are
+/// non-overlapping and sum to total busy time.
+thread_local uint64_t tls_op_ns = 0;
+
+uint64_t NsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stage taxonomy
+
+const char* StageKindName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kDistinctKeys:
+      return "DistinctKeys";
+    case StageKind::kProbeFilter:
+      return "ProbeFilter";
+    case StageKind::kQueryBuild:
+      return "QueryBuild";
+    case StageKind::kSearchDispatch:
+      return "SearchDispatch";
+    case StageKind::kFetch:
+      return "Fetch";
+    case StageKind::kMatch:
+      return "Match";
+    case StageKind::kAssemble:
+      return "Assemble";
+  }
+  return "?";
+}
+
+std::string StageDesc::ToString() const {
+  std::string out = StageKindName(kind);
+  if (!detail.empty()) {
+    out += '(';
+    out += detail;
+    out += ')';
+  }
+  return out;
+}
+
+std::string StageStats::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ": units=%llu wall=%.2fms",
+                static_cast<unsigned long long>(units), wall_seconds * 1e3);
+  std::string out = desc.ToString() + buf;
+  const auto append = [&out](const char* name, uint64_t value) {
+    if (value == 0) return;
+    out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  append("inv", invocations);
+  append("short", short_docs);
+  append("long", long_docs);
+  append("rmatch", relational_matches);
+  return out;
+}
+
+std::string PipelineProfile::ToString() const {
+  std::string out;
+  for (const StageStats& stage : stages) {
+    if (!out.empty()) out += '\n';
+    out += stage.ToString();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Resolved specs & query building
+
+Result<ResolvedSpec> ResolveSpec(const ForeignJoinSpec& spec) {
+  ResolvedSpec rspec;
+  rspec.spec = &spec;
+  for (const TextJoinPredicate& pred : spec.joins) {
+    TEXTJOIN_ASSIGN_OR_RETURN(size_t idx,
+                              spec.left_schema.Resolve(pred.column_ref));
+    rspec.join_columns.push_back(idx);
+    if (!spec.text.HasField(pred.field)) {
+      return Status::NotFound("text field '" + pred.field +
+                              "' not declared on " + spec.text.alias);
+    }
+  }
+  for (const TextSelection& sel : spec.selections) {
+    if (!spec.text.HasField(sel.field)) {
+      return Status::NotFound("text field '" + sel.field +
+                              "' not declared on " + spec.text.alias);
+    }
+  }
+  rspec.output_schema = spec.left_schema.Concat(spec.text.ToSchema());
+  return rspec;
+}
+
+std::optional<std::vector<std::string>> JoinTerms(const ResolvedSpec& rspec,
+                                                  const Row& row,
+                                                  PredicateMask mask) {
+  std::vector<std::string> terms;
+  for (size_t i = 0; i < rspec.join_columns.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const Value& v = row.at(rspec.join_columns[i]);
+    if (v.type() != ValueType::kString) return std::nullopt;
+    terms.push_back(v.AsString());
+  }
+  return terms;
+}
+
+namespace {
+
+// Appends term nodes for the predicates in `mask` to `children`.
+void AppendJoinTermNodes(const ResolvedSpec& rspec,
+                         const std::vector<std::string>& terms,
+                         PredicateMask mask,
+                         std::vector<TextQueryPtr>& children) {
+  size_t term_index = 0;
+  for (size_t i = 0; i < rspec.spec->joins.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    children.push_back(
+        TextQuery::Term(rspec.spec->joins[i].field, terms.at(term_index)));
+    ++term_index;
+  }
+}
+
+}  // namespace
+
+TextQueryPtr BuildSearch(const ResolvedSpec& rspec,
+                         const std::vector<std::string>& terms,
+                         PredicateMask mask) {
+  std::vector<TextQueryPtr> children;
+  for (const TextSelection& sel : rspec.spec->selections) {
+    children.push_back(TextQuery::Term(sel.field, sel.term));
+  }
+  AppendJoinTermNodes(rspec, terms, mask, children);
+  TEXTJOIN_CHECK(!children.empty(), "search with no predicates");
+  return TextQuery::And(std::move(children));
+}
+
+TextQueryPtr BuildSelectionSearch(const ForeignJoinSpec& spec) {
+  TEXTJOIN_CHECK(!spec.selections.empty(),
+                 "selection search needs text selections");
+  std::vector<TextQueryPtr> children;
+  for (const TextSelection& sel : spec.selections) {
+    children.push_back(TextQuery::Term(sel.field, sel.term));
+  }
+  return TextQuery::And(std::move(children));
+}
+
+TextQueryPtr BuildDisjunct(const ResolvedSpec& rspec,
+                           const std::vector<std::string>& terms,
+                           PredicateMask mask) {
+  std::vector<TextQueryPtr> children;
+  AppendJoinTermNodes(rspec, terms, mask, children);
+  TEXTJOIN_CHECK(!children.empty(), "disjunct with no join terms");
+  return TextQuery::And(std::move(children));
+}
+
+Row DocumentToRow(const TextRelationDecl& text, const Document& doc) {
+  Row row;
+  row.reserve(text.fields.size() + 1);
+  row.push_back(Value::Str(doc.docid));
+  for (const std::string& field : text.fields) {
+    row.push_back(Value::Str(JoinFieldValues(doc.FieldValues(field))));
+  }
+  return row;
+}
+
+Row DocidOnlyRow(const TextRelationDecl& text, const std::string& docid) {
+  Row row(text.fields.size() + 1, Value::Null());
+  row[0] = Value::Str(docid);
+  return row;
+}
+
+Row NullLeftRow(const Schema& left_schema) {
+  return Row(left_schema.num_columns(), Value::Null());
+}
+
+bool DocMatchesRow(const ResolvedSpec& rspec, const Row& row,
+                   const Document& doc, PredicateMask mask) {
+  for (size_t i = 0; i < rspec.spec->joins.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const Value& v = row.at(rspec.join_columns[i]);
+    if (v.type() != ValueType::kString) return false;
+    const std::string flattened =
+        JoinFieldValues(doc.FieldValues(rspec.spec->joins[i].field));
+    if (!TermMatchesFieldText(v.AsString(), flattened)) return false;
+  }
+  return true;
+}
+
+std::map<std::vector<std::string>, std::vector<size_t>> GroupByTerms(
+    const ResolvedSpec& rspec, const std::vector<Row>& rows,
+    PredicateMask mask) {
+  std::map<std::vector<std::string>, std::vector<size_t>> groups;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::optional<std::vector<std::string>> terms =
+        JoinTerms(rspec, rows[r], mask);
+    if (!terms) continue;
+    groups[*terms].push_back(r);
+  }
+  return groups;
+}
+
+KeyGroups GroupRowsByTerms(const ResolvedSpec& rspec,
+                           const std::vector<Row>& rows, PredicateMask mask) {
+  KeyGroups out;
+  auto groups = GroupByTerms(rspec, rows, mask);
+  out.terms.reserve(groups.size());
+  out.rows.reserve(groups.size());
+  for (auto& [terms, row_indices] : groups) {
+    out.terms.push_back(terms);
+    out.rows.push_back(std::move(row_indices));
+  }
+  return out;
+}
+
+Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask) {
+  if (mask == 0) {
+    return Status::InvalidArgument("probe mask must select at least one "
+                                   "join predicate");
+  }
+  const PredicateMask all = FullMask(spec.joins.size());
+  if ((mask & ~all) != 0) {
+    return Status::OutOfRange("probe mask " + MaskToString(mask) +
+                              " selects predicates beyond the " +
+                              std::to_string(spec.joins.size()) +
+                              " in the spec");
+  }
+  return Status::OK();
+}
+
+void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned) {
+  if (RemoteTextSource* remote = UnwrapRemote(&source)) {
+    remote->charging_meter().ChargeRelationalMatches(docs_scanned);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+/// Per-stage accounting. Owned by the scheduler State (so pool jobs that
+/// outlive the scheduler object can still charge it); addressed by the
+/// opaque StageId pointer. `rank` is the registration order, the major key
+/// of deterministic failure selection.
+struct StageCounters {
+  StageDesc desc;
+  size_t rank = 0;
+  std::atomic<uint64_t> units{0};
+  std::atomic<uint64_t> wall_ns{0};
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<uint64_t> short_docs{0};
+  std::atomic<uint64_t> long_docs{0};
+  std::atomic<uint64_t> relational_matches{0};
+};
+
+struct StageScheduler::Task {
+  StageCounters* stage = nullptr;
+  uint64_t ordinal = 0;
+  std::function<Status()> fn;
+};
+
+/// Shared with every drain job handed to the pool: a job enqueued behind a
+/// long run may execute after the scheduler object is gone, so everything
+/// it touches lives here behind a shared_ptr (the ParallelFor LoopState
+/// pattern).
+struct StageScheduler::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Task> queue;
+  size_t pending = 0;  ///< Queued + currently running units.
+  std::deque<std::unique_ptr<StageCounters>> stages;
+
+  // Sticky deterministic failure: minimum (stage rank, ordinal).
+  bool failed = false;
+  size_t fail_rank = 0;
+  uint64_t fail_ordinal = 0;
+  Status failure;
+};
+
+StageScheduler::StageScheduler(ThreadPool* pool, TextSource& source,
+                               const FaultPolicy& policy)
+    : pool_(pool),
+      source_(source),
+      policy_(policy),
+      state_(std::make_shared<State>()) {}
+
+StageScheduler::~StageScheduler() {
+  // Leftover units (a caller that errored out before Wait) must still run:
+  // their captures reference caller state that dies with the caller, and
+  // pool drain jobs may already hold them.
+  (void)Wait();
+}
+
+StageScheduler::StageId StageScheduler::AddStage(const StageDesc& desc) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->stages.push_back(std::make_unique<StageCounters>());
+  StageCounters* counters = state_->stages.back().get();
+  counters->desc = desc;
+  counters->rank = state_->stages.size() - 1;
+  return counters;
+}
+
+void StageScheduler::Spawn(StageId stage, uint64_t ordinal,
+                           std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->queue.push_back(Task{stage, ordinal, std::move(fn)});
+    ++state_->pending;
+  }
+  state_->cv.notify_one();
+  if (pool_ != nullptr && pool_->num_threads() > 0) {
+    // One drain job per unit keeps every worker busy whenever the queue is
+    // non-empty; a job that finds the queue already drained is a no-op.
+    std::shared_ptr<State> state = state_;
+    pool_->Run([state] { DrainOne(*state); });
+  }
+}
+
+bool StageScheduler::DrainOne(State& state) {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.queue.empty()) return false;
+    task = std::move(state.queue.front());
+    state.queue.pop_front();
+  }
+  ExecuteTask(state, std::move(task));
+  return true;
+}
+
+void StageScheduler::ExecuteTask(State& state, Task task) {
+  const uint64_t saved_op_ns = tls_op_ns;
+  tls_op_ns = 0;
+  const auto start = std::chrono::steady_clock::now();
+  Status status = task.fn();
+  const uint64_t elapsed = NsSince(start);
+  const uint64_t inner_ops = tls_op_ns;
+  // An enclosing scope (a driver draining inside a ScopedStageTimer) must
+  // not double-count this unit's time as its own.
+  tls_op_ns = saved_op_ns + elapsed;
+  task.fn = nullptr;  // Release captures before waiters may proceed.
+  task.stage->units.fetch_add(1, std::memory_order_relaxed);
+  task.stage->wall_ns.fetch_add(elapsed > inner_ops ? elapsed - inner_ops : 0,
+                                std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!status.ok()) {
+      const bool wins =
+          !state.failed || task.stage->rank < state.fail_rank ||
+          (task.stage->rank == state.fail_rank &&
+           task.ordinal < state.fail_ordinal);
+      if (wins) {
+        state.failed = true;
+        state.fail_rank = task.stage->rank;
+        state.fail_ordinal = task.ordinal;
+        state.failure = std::move(status);
+      }
+    }
+    --state.pending;
+  }
+  state.cv.notify_all();
+}
+
+Status StageScheduler::Wait() {
+  std::shared_ptr<State> state = state_;
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    state->cv.wait(lock, [&state] {
+      return !state->queue.empty() || state->pending == 0;
+    });
+    if (state->queue.empty()) break;  // pending == 0: everything ran.
+    Task task = std::move(state->queue.front());
+    state->queue.pop_front();
+    lock.unlock();
+    ExecuteTask(*state, std::move(task));
+    lock.lock();
+  }
+  return state->failed ? state->failure : Status::OK();
+}
+
+Result<std::vector<std::string>> StageScheduler::Search(
+    StageId stage, const TextQuery& query) {
+  OpTimer timer(*this, stage);
+  Result<std::vector<std::string>> result = source_.Search(query);
+  if (result.ok()) {
+    stage->invocations.fetch_add(1, std::memory_order_relaxed);
+    stage->short_docs.fetch_add(result->size(), std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Result<Document> StageScheduler::Fetch(StageId stage,
+                                       const std::string& docid) {
+  OpTimer timer(*this, stage);
+  Result<Document> result = source_.Fetch(docid);
+  if (result.ok()) {
+    stage->long_docs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void StageScheduler::ChargeRelationalMatches(StageId stage,
+                                             uint64_t docs_scanned) {
+  pipeline::ChargeRelationalMatches(source_, docs_scanned);
+  stage->relational_matches.fetch_add(docs_scanned,
+                                      std::memory_order_relaxed);
+}
+
+void StageScheduler::AddStageCounts(StageId stage, uint64_t invocations,
+                                    uint64_t short_docs, uint64_t long_docs) {
+  stage->invocations.fetch_add(invocations, std::memory_order_relaxed);
+  stage->short_docs.fetch_add(short_docs, std::memory_order_relaxed);
+  stage->long_docs.fetch_add(long_docs, std::memory_order_relaxed);
+}
+
+Status StageScheduler::HandleSourceFailure(Status status,
+                                           bool affects_completeness) const {
+  if (status.ok()) return status;
+  const bool absorbable = policy_.best_effort() ||
+                          (policy_.recovers() && !affects_completeness);
+  if (absorbable && IsTransientError(status.code())) {
+    policy_.NoteSkippedOperation(affects_completeness);
+    return Status::OK();
+  }
+  return status;
+}
+
+PipelineProfile StageScheduler::Profile(
+    const std::vector<StageId>& ids) const {
+  PipelineProfile profile;
+  profile.stages.reserve(ids.size());
+  for (StageId id : ids) {
+    StageStats stats;
+    stats.desc = id->desc;
+    stats.units = id->units.load(std::memory_order_relaxed);
+    stats.wall_seconds =
+        static_cast<double>(id->wall_ns.load(std::memory_order_relaxed)) /
+        1e9;
+    stats.invocations = id->invocations.load(std::memory_order_relaxed);
+    stats.short_docs = id->short_docs.load(std::memory_order_relaxed);
+    stats.long_docs = id->long_docs.load(std::memory_order_relaxed);
+    stats.relational_matches =
+        id->relational_matches.load(std::memory_order_relaxed);
+    profile.stages.push_back(std::move(stats));
+  }
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+OpTimer::OpTimer(StageScheduler& /*sched*/, StageScheduler::StageId stage)
+    : stage_(stage), start_(std::chrono::steady_clock::now()) {}
+
+OpTimer::~OpTimer() {
+  const uint64_t elapsed = NsSince(start_);
+  stage_->wall_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  tls_op_ns += elapsed;
+}
+
+ScopedStageTimer::ScopedStageTimer(StageScheduler& /*sched*/,
+                                   StageScheduler::StageId stage,
+                                   uint64_t units)
+    : stage_(stage),
+      units_(units),
+      start_(std::chrono::steady_clock::now()),
+      op_ns_at_start_(tls_op_ns) {}
+
+ScopedStageTimer::~ScopedStageTimer() {
+  const uint64_t elapsed = NsSince(start_);
+  const uint64_t inner_ops = tls_op_ns - op_ns_at_start_;
+  stage_->units.fetch_add(units_, std::memory_order_relaxed);
+  stage_->wall_ns.fetch_add(elapsed > inner_ops ? elapsed - inner_ops : 0,
+                            std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// DocFetcher
+
+size_t DocFetcher::Fetch(const std::string& docid) {
+  return Fetch(docid, nullptr, nullptr);
+}
+
+size_t DocFetcher::Fetch(const std::string& docid,
+                         StageScheduler::StageId then_stage,
+                         std::function<Status(const Document&)> then) {
+  Document* slot_ptr = nullptr;
+  size_t slot = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot = docs_.size();
+    docs_.emplace_back();
+    slot_ptr = &docs_.back();
+  }
+  StageScheduler* sched = &sched_;
+  StageScheduler::StageId stage = stage_;
+  sched_.Spawn(
+      stage_, slot,
+      [sched, stage, then_stage, then, slot_ptr, slot, docid]() -> Status {
+        Result<Document> fetched = sched->Fetch(stage, docid);
+        if (!fetched.ok()) {
+          // Absorbed => the slot keeps its placeholder Document, and the
+          // continuation never runs (there is nothing to match).
+          return sched->HandleSourceFailure(fetched.status(),
+                                            /*affects_completeness=*/true);
+        }
+        *slot_ptr = *std::move(fetched);
+        if (then) {
+          sched->Spawn(then_stage, slot, [then, slot_ptr]() -> Status {
+            return then(*slot_ptr);
+          });
+        }
+        return Status::OK();
+      });
+  return slot;
+}
+
+const Document& DocFetcher::doc(size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.at(slot);
+}
+
+size_t DocFetcher::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: lowering + execution
+
+StageScheduler::StageId MethodContext::Stage(StageKind kind) const {
+  TEXTJOIN_CHECK(stage_descs != nullptr, "MethodContext has no stage list");
+  for (size_t i = 0; i < stage_descs->size(); ++i) {
+    if ((*stage_descs)[i].kind == kind) return stage_ids.at(i);
+  }
+  TEXTJOIN_UNREACHABLE("stage kind not in this lowering");
+}
+
+Result<Pipeline> Pipeline::Lower(JoinMethodKind method,
+                                 const ForeignJoinSpec& spec,
+                                 PredicateMask probe_mask) {
+  using K = StageKind;
+  const bool is_probe_method =
+      method == JoinMethodKind::kPTS || method == JoinMethodKind::kPRTP;
+  if (!is_probe_method && probe_mask != 0) {
+    return Status::InvalidArgument(
+        std::string("probe mask given to non-probing method ") +
+        JoinMethodName(method));
+  }
+  if (is_probe_method) {
+    TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, probe_mask));
+  }
+  const std::string fetch_form =
+      spec.need_document_fields ? "long-form" : "docid-only";
+  std::vector<StageDesc> stages;
+  switch (method) {
+    case JoinMethodKind::kTS:
+      if (spec.selections.empty() && spec.joins.empty()) {
+        return Status::InvalidArgument(
+            "TS needs at least one text predicate to instantiate");
+      }
+      stages = {{K::kDistinctKeys, "all-preds"},
+                {K::kQueryBuild, "per-combination"},
+                {K::kSearchDispatch, "per-combination"},
+                {K::kFetch, fetch_form},
+                {K::kAssemble, "group-order"}};
+      break;
+    case JoinMethodKind::kRTP:
+      if (spec.selections.empty()) {
+        // Without selections, the single text search would be
+        // unconstrained. The paper (Section 3.2): "This method further
+        // requires that there are selection conditions on the text data."
+        return Status::InvalidArgument(
+            "RTP requires text selection conditions");
+      }
+      stages = {{K::kQueryBuild, "selections-only"},
+                {K::kSearchDispatch, "single"},
+                {K::kFetch, "long-form"},
+                {K::kMatch, "string-match"},
+                {K::kAssemble, "doc-order"}};
+      break;
+    case JoinMethodKind::kSJ:
+      if (spec.joins.empty()) {
+        return Status::InvalidArgument("SJ requires text join predicates");
+      }
+      if (spec.left_columns_needed) {
+        // Pure SJ cannot recover which tuple matched which document; the
+        // paper applies it when "the query itself is a semi-join" (only
+        // docids are projected). Use SJ+RTP otherwise.
+        return Status::InvalidArgument(
+            "SJ yields a doc-side semi-join; the query needs outer columns");
+      }
+      stages = {{K::kDistinctKeys, "all-preds"},
+                {K::kQueryBuild, "or-batch+resplit"},
+                {K::kSearchDispatch, "per-batch"},
+                {K::kFetch, fetch_form + ",dedup"},
+                {K::kAssemble, "null-left,first-seen"}};
+      break;
+    case JoinMethodKind::kSJRTP:
+      if (spec.joins.empty()) {
+        return Status::InvalidArgument(
+            "SJ+RTP requires text join predicates");
+      }
+      stages = {{K::kDistinctKeys, "all-preds"},
+                {K::kQueryBuild, "or-batch+resplit"},
+                {K::kSearchDispatch, "per-batch"},
+                {K::kFetch, "long-form,dedup"},
+                {K::kMatch, "string-match"},
+                {K::kAssemble, "first-seen"}};
+      break;
+    case JoinMethodKind::kPTS:
+      stages = {{K::kDistinctKeys, "all-preds"},
+                {K::kProbeFilter, "cache," + MaskToString(probe_mask)},
+                {K::kQueryBuild, "per-combination"},
+                {K::kSearchDispatch, "serial-chain"},
+                {K::kFetch, fetch_form},
+                {K::kAssemble, "group-order"}};
+      break;
+    case JoinMethodKind::kPRTP:
+      stages = {{K::kDistinctKeys, "probe-cols," + MaskToString(probe_mask)},
+                {K::kQueryBuild, "per-probe"},
+                {K::kSearchDispatch, "per-probe"},
+                {K::kFetch, "long-form,dedup"},
+                {K::kMatch, "residual-preds"},
+                {K::kAssemble, "group-order"}};
+      break;
+  }
+  TEXTJOIN_CHECK(!stages.empty(), "method lowered to no stages");
+  return Pipeline(method, probe_mask, std::move(stages));
+}
+
+std::string Pipeline::ToString() const {
+  std::string out = JoinMethodName(method_);
+  out += ": ";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += stages_[i].ToString();
+  }
+  return out;
+}
+
+Result<ForeignJoinResult> Pipeline::Execute(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    TextSource& source, ThreadPool* pool, const FaultPolicy& policy,
+    PipelineProfile* profile, StageScheduler* scheduler) const {
+  TEXTJOIN_ASSIGN_OR_RETURN(ResolvedSpec rspec, ResolveSpec(spec));
+  std::optional<StageScheduler> owned;
+  if (scheduler == nullptr) {
+    owned.emplace(pool, source, policy);
+    scheduler = &*owned;
+  }
+  MethodContext ctx{rspec, left_rows, probe_mask_, *scheduler, &stages_, {}};
+  ctx.stage_ids.reserve(stages_.size());
+  for (const StageDesc& desc : stages_) {
+    ctx.stage_ids.push_back(scheduler->AddStage(desc));
+  }
+  Result<ForeignJoinResult> result = [&]() -> Result<ForeignJoinResult> {
+    switch (method_) {
+      case JoinMethodKind::kTS:
+        return RunTS(ctx);
+      case JoinMethodKind::kRTP:
+        return RunRTP(ctx);
+      case JoinMethodKind::kSJ:
+        return RunSJ(ctx);
+      case JoinMethodKind::kSJRTP:
+        return RunSJRTP(ctx);
+      case JoinMethodKind::kPTS:
+        return RunPTS(ctx);
+      case JoinMethodKind::kPRTP:
+        return RunPRTP(ctx);
+    }
+    TEXTJOIN_UNREACHABLE("bad JoinMethodKind");
+  }();
+  if (profile != nullptr) *profile = scheduler->Profile(ctx.stage_ids);
+  return result;
+}
+
+}  // namespace textjoin::pipeline

@@ -1,0 +1,451 @@
+#ifndef TEXTJOIN_CORE_PIPELINE_H_
+#define TEXTJOIN_CORE_PIPELINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "connector/resilience.h"
+#include "connector/text_source.h"
+#include "core/join_methods.h"
+#include "text/query.h"
+
+/// \file
+/// The staged execution pipeline (DESIGN.md, "Staged execution pipeline").
+/// Every foreign-join method of the paper decomposes into the same small
+/// set of stages — distinct-key grouping, probe filtering, query building,
+/// search dispatch, document fetch, relational matching, ordered assembly —
+/// and the six methods differ only in which stages they compose and how.
+/// This file provides:
+///
+///  - the stage taxonomy (StageKind / StageDesc) and per-stage runtime
+///    accounting (StageStats / PipelineProfile);
+///  - StageScheduler: ONE scheduler owning parallelism, FaultPolicy
+///    handling, metering, and deterministic failure selection for all
+///    methods. Unlike the per-phase parallel loops it replaces, the
+///    scheduler pipelines ACROSS stages: a unit may spawn downstream units
+///    (search answers spawn fetches) that execute while sibling upstream
+///    units are still in flight, so there is no barrier between stages;
+///  - DocFetcher: slot-addressed asynchronous document retrieval with
+///    optional per-document continuation units (the RTP-family match
+///    stage), replacing the FetchDocs / FetchDocRows loop copies;
+///  - the shared spec-resolution and query-building helpers;
+///  - Pipeline: the lowering of a JoinMethodKind into its stage
+///    composition, and its execution.
+///
+/// Determinism contract (unchanged from the per-method loops): result rows
+/// AND meter totals are byte-identical to serial execution at any
+/// parallelism. The argument: (1) the set of issued source operations is a
+/// pure function of per-operation outcomes, never of scheduling order;
+/// (2) meter charges are commutative sums over that set; (3) every unit
+/// writes into a pre-assigned slot and assembly replays a deterministic
+/// order computed from the answers, not from completion order. Failure
+/// reporting is deterministic too: when several units fail, Wait() returns
+/// the failure of the minimum (stage, ordinal) pair, independent of which
+/// failed first in wall-clock time.
+
+namespace textjoin::pipeline {
+
+// ---------------------------------------------------------------------------
+// Stage taxonomy
+
+/// The reusable stages every join method composes from.
+enum class StageKind {
+  kDistinctKeys,    ///< Group outer rows by join-key combination.
+  kProbeFilter,     ///< Probe-cache lookups / advisory probes (P+TS, reducer).
+  kQueryBuild,      ///< Instantiate Boolean searches (per-tuple or OR-batch).
+  kSearchDispatch,  ///< Issue the searches to the text source.
+  kFetch,           ///< Retrieve document long forms.
+  kMatch,           ///< Relational-side matching (RTP string match / residual).
+  kAssemble,        ///< Deterministic ordered result assembly.
+};
+
+/// "DistinctKeys", "ProbeFilter", ...
+const char* StageKindName(StageKind kind);
+
+/// One stage of a lowered pipeline: the kind plus a short detail string
+/// describing the method-specific variant ("or-batch+resplit", ...).
+struct StageDesc {
+  StageKind kind;
+  std::string detail;
+
+  /// "QueryBuild(or-batch+resplit)".
+  std::string ToString() const;
+};
+
+/// Runtime account of one stage: units executed, wall-clock attributed to
+/// the stage, and the stage's share of the source meter. Wall-clock is
+/// exact and non-overlapping: a unit's time excludes the source operations
+/// it issued (those are charged to the operation's own stage), so stage
+/// times sum to total busy time. Meter attribution covers invocations,
+/// short/long transmissions and relational matches; postings_processed
+/// cannot be split per stage (only the remote knows it) and stays a
+/// node-level number.
+struct StageStats {
+  StageDesc desc;
+  uint64_t units = 0;            ///< Work units the stage executed.
+  double wall_seconds = 0.0;     ///< Busy time attributed to the stage.
+  uint64_t invocations = 0;      ///< Successful source calls it issued.
+  uint64_t short_docs = 0;       ///< Short-form results it received.
+  uint64_t long_docs = 0;        ///< Long-form documents it fetched.
+  uint64_t relational_matches = 0;  ///< Documents it string-matched.
+
+  /// "SearchDispatch(per-batch): units=4 wall=20.1ms inv=4 short=37".
+  std::string ToString() const;
+};
+
+/// Per-stage profile of one pipeline execution, in lowering order.
+struct PipelineProfile {
+  std::vector<StageStats> stages;
+
+  bool empty() const { return stages.empty(); }
+  /// One StageStats::ToString() line per stage.
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Resolved specs & query building (shared by every composition)
+
+/// The join spec with column references resolved to indices.
+struct ResolvedSpec {
+  const ForeignJoinSpec* spec = nullptr;
+  std::vector<size_t> join_columns;  ///< Index into left rows, per predicate.
+  Schema output_schema;              ///< left ⨯ text.
+};
+
+/// Resolves every join predicate's column against the left schema and
+/// validates the referenced fields against the text declaration.
+Result<ResolvedSpec> ResolveSpec(const ForeignJoinSpec& spec);
+
+/// The join-column values of `row` for the predicates in `mask`, as
+/// strings. Returns nullopt if any value is NULL or non-string — such a
+/// tuple can never match (text terms are strings), so no search is sent.
+std::optional<std::vector<std::string>> JoinTerms(const ResolvedSpec& rspec,
+                                                  const Row& row,
+                                                  PredicateMask mask);
+
+/// Builds the instantiated Boolean search: the conjunction of all text
+/// selections plus, for each predicate in `mask`, its field-restricted term
+/// taken from `terms` (parallel to the set bits of `mask`, ascending).
+TextQueryPtr BuildSearch(const ResolvedSpec& rspec,
+                         const std::vector<std::string>& terms,
+                         PredicateMask mask);
+
+/// Builds the selections-only search (used by RTP). Requires at least one
+/// selection.
+TextQueryPtr BuildSelectionSearch(const ForeignJoinSpec& spec);
+
+/// One OR disjunct for the semi-join method: AND of the join terms of one
+/// distinct combination (field-restricted).
+TextQueryPtr BuildDisjunct(const ResolvedSpec& rspec,
+                           const std::vector<std::string>& terms,
+                           PredicateMask mask);
+
+/// Converts a fetched document into the text-side row
+/// [docid, field1, field2, ...] with multi-valued fields flattened.
+Row DocumentToRow(const TextRelationDecl& text, const Document& doc);
+
+/// The text-side row carrying only the docid (fields NULL).
+Row DocidOnlyRow(const TextRelationDecl& text, const std::string& docid);
+
+/// The all-NULL left row (for doc-side semi-join output).
+Row NullLeftRow(const Schema& left_schema);
+
+/// True if `doc` satisfies the join predicates in `mask` for `row`
+/// (relational-side string matching; used by the RTP family).
+bool DocMatchesRow(const ResolvedSpec& rspec, const Row& row,
+                   const Document& doc, PredicateMask mask);
+
+/// Groups row indices by their join-term combination over `mask`.
+/// Rows with NULL/non-string join values are dropped (they cannot match).
+/// Iteration order is deterministic (lexicographic by terms).
+std::map<std::vector<std::string>, std::vector<size_t>> GroupByTerms(
+    const ResolvedSpec& rspec, const std::vector<Row>& rows,
+    PredicateMask mask);
+
+/// GroupByTerms materialized into parallel indexable vectors (the shape
+/// the DistinctKeys stage hands to slot-addressed downstream stages).
+struct KeyGroups {
+  std::vector<std::vector<std::string>> terms;  ///< Lexicographic order.
+  std::vector<std::vector<size_t>> rows;        ///< Parallel to `terms`.
+  size_t size() const { return terms.size(); }
+};
+KeyGroups GroupRowsByTerms(const ResolvedSpec& rspec,
+                           const std::vector<Row>& rows, PredicateMask mask);
+
+/// Validates a probe mask: non-zero and within the predicate count.
+Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask);
+
+/// Charges `docs_scanned` relational string-matching operations (the c_a
+/// component) to the source's meter when the source is metered (decorator
+/// chains are unwrapped to find the metered source). Free-function form for
+/// callers outside a scheduler; StageScheduler::ChargeRelationalMatches
+/// adds per-stage attribution on top.
+void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned);
+
+/// True for the placeholder a best-effort fetch skip leaves behind (slot
+/// alignment is preserved for callers that index fetched documents by
+/// position; real documents always carry a docid).
+inline bool IsPlaceholderDoc(const Document& doc) { return doc.docid.empty(); }
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+struct StageCounters;  // Internal per-stage accounting (pipeline.cc).
+
+/// The one scheduler behind every join method. Owns the parallelism (an
+/// optional ThreadPool), the FaultPolicy, per-stage accounting, and
+/// deterministic failure selection.
+///
+/// Work units are spawned under a (stage, ordinal) identity and may spawn
+/// further units — that is what removes the per-phase barriers: a search
+/// unit that answers spawns its fetch units immediately, and those run
+/// while other search units are still waiting on the source. Wait() drains
+/// everything (the caller participates, so progress is guaranteed even
+/// with a saturated or absent pool) and returns the deterministic failure:
+/// the non-OK status of the minimum (stage, ordinal) pair.
+///
+/// All units run even when one fails (matching the historical contract
+/// that the meter reflects every issued operation); a failed unit's own
+/// downstream units are simply never spawned. Units must therefore make
+/// the set of operations they issue a pure function of per-operation
+/// outcomes — never of scheduling order — to keep the byte-identity
+/// contract.
+///
+/// A scheduler may be shared across several compositions (the plan
+/// executor runs a whole PrL plan — probe reducers plus the foreign join —
+/// through one scheduler, composing them into a single DAG); AddStage
+/// keeps per-composition stages separate.
+class StageScheduler {
+ public:
+  /// Opaque stage handle; stable for the scheduler's lifetime.
+  using StageId = StageCounters*;
+
+  /// `pool` may be null (serial: units run on the Wait()ing thread in
+  /// spawn order). `source` and `policy` must outlive the scheduler.
+  StageScheduler(ThreadPool* pool, TextSource& source,
+                 const FaultPolicy& policy);
+
+  /// Drains any still-pending units (without reporting their failures).
+  ~StageScheduler();
+
+  StageScheduler(const StageScheduler&) = delete;
+  StageScheduler& operator=(const StageScheduler&) = delete;
+
+  /// Registers a stage. Call from the driving thread (not from units).
+  StageId AddStage(const StageDesc& desc);
+
+  /// Enqueues one unit of `stage`. `ordinal` orders the unit within its
+  /// stage for deterministic failure selection; units of one stage should
+  /// use distinct ordinals. Safe to call from inside a running unit.
+  /// The unit's returned status should already have passed through
+  /// HandleSourceFailure where the policy may absorb it.
+  void Spawn(StageId stage, uint64_t ordinal, std::function<Status()> fn);
+
+  /// Runs/awaits every pending unit (including ones spawned meanwhile) and
+  /// returns the deterministic first failure, or OK. May be called again
+  /// after more Spawns; a recorded failure is sticky.
+  Status Wait();
+
+  /// Issues a search / fetch against the source, timing the round-trip and
+  /// charging the stage's profile (successful operations only; the source
+  /// meter itself is charged by the source as always).
+  Result<std::vector<std::string>> Search(StageId stage,
+                                          const TextQuery& query);
+  Result<Document> Fetch(StageId stage, const std::string& docid);
+
+  /// Charges `docs_scanned` relational string-matching operations (the c_a
+  /// component) to the source's meter when the source is metered (decorator
+  /// chains are unwrapped to find the metered source), and to `stage`'s
+  /// profile. The matching itself happens on the database side, but the
+  /// experiment harness reads one combined meter, as the paper reports one
+  /// combined time.
+  void ChargeRelationalMatches(StageId stage, uint64_t docs_scanned);
+
+  /// Adds raw counts to `stage`'s profile — for source operations the
+  /// scheduler has no wrapper for (e.g. cooperative SearchBatch).
+  void AddStageCounts(StageId stage, uint64_t invocations,
+                      uint64_t short_docs, uint64_t long_docs);
+
+  /// Decides the fate of a failed source operation under the policy:
+  /// returns OK (failure absorbed, recorded in the degradation sink) when
+  /// the policy may continue without this operation, the failure status
+  /// otherwise. A transient failure is absorbed under best-effort always,
+  /// and under retry-then-fail only when `affects_completeness` is false
+  /// (advisory operations — reducer probes, cache probes — can be dropped
+  /// without changing the answer). Permanent errors always propagate: they
+  /// are query bugs, not faults.
+  Status HandleSourceFailure(Status status, bool affects_completeness) const;
+
+  TextSource& source() const { return source_; }
+  const FaultPolicy& policy() const { return policy_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Snapshot of the listed stages, in the given order. Call after Wait().
+  PipelineProfile Profile(const std::vector<StageId>& ids) const;
+
+ private:
+  friend class OpTimer;
+  friend class ScopedStageTimer;
+
+  struct State;
+  struct Task;
+
+  /// Pops and runs one queued unit; false if the queue was empty.
+  static bool DrainOne(State& state);
+  static void ExecuteTask(State& state, Task task);
+
+  ThreadPool* pool_;
+  TextSource& source_;
+  FaultPolicy policy_;
+  std::shared_ptr<State> state_;  ///< Shared with enqueued pool jobs.
+};
+
+/// RAII timer around one source round-trip issued on behalf of `stage`:
+/// the elapsed time is charged to the stage and excluded from the
+/// enclosing unit's own time. Used internally by Search/Fetch; exposed for
+/// operations the scheduler has no wrapper for (SearchBatch).
+class OpTimer {
+ public:
+  OpTimer(StageScheduler& sched, StageScheduler::StageId stage);
+  ~OpTimer();
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  StageScheduler::StageId stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer for driver-side serial stages (DistinctKeys, QueryBuild,
+/// Assemble) that run inline rather than as spawned units: charges the
+/// scope's elapsed time (minus any inner source operations) and `units`
+/// units to the stage.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageScheduler& sched, StageScheduler::StageId stage,
+                   uint64_t units = 1);
+  ~ScopedStageTimer();
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageScheduler::StageId stage_;
+  uint64_t units_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t op_ns_at_start_;
+};
+
+/// Slot-addressed asynchronous document retrieval. Each Fetch() reserves a
+/// stable slot and spawns a fetch unit; after the scheduler drains, doc()
+/// returns the slot's document — or the empty placeholder (see
+/// IsPlaceholderDoc) when a best-effort policy absorbed the fetch failure.
+/// Exactly one source Fetch is issued per call (deduplication is the
+/// caller's concern, as it defines the method's cost).
+///
+/// The two-argument form chains a continuation: on fetch success, `then`
+/// runs as a unit of `then_stage` with the fetched document — the
+/// RTP-family match stage, overlapped with everything else.
+class DocFetcher {
+ public:
+  DocFetcher(StageScheduler& sched, StageScheduler::StageId stage)
+      : sched_(sched), stage_(stage) {}
+
+  size_t Fetch(const std::string& docid);
+  size_t Fetch(const std::string& docid, StageScheduler::StageId then_stage,
+               std::function<Status(const Document&)> then);
+
+  /// The document in `slot`. Valid only after the scheduler drained.
+  const Document& doc(size_t slot) const;
+  size_t size() const;
+
+ private:
+  StageScheduler& sched_;
+  StageScheduler::StageId stage_;
+  mutable std::mutex mu_;
+  std::deque<Document> docs_;  ///< deque: growth keeps element addresses.
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline: lowering + execution
+
+/// Everything a method composition needs: the resolved spec, the input,
+/// the scheduler, and its lowered stages.
+struct MethodContext {
+  const ResolvedSpec& rspec;
+  const std::vector<Row>& left_rows;
+  PredicateMask probe_mask;
+  StageScheduler& sched;
+  const std::vector<StageDesc>* stage_descs = nullptr;
+  std::vector<StageScheduler::StageId> stage_ids;  ///< Parallel to descs.
+
+  /// The registered id of the composition's `kind` stage (each kind
+  /// appears at most once per lowering). CHECK-fails if absent.
+  StageScheduler::StageId Stage(StageKind kind) const;
+};
+
+/// A join method lowered to its stage composition. Lower() performs the
+/// method-applicability validation (the paper's preconditions), so an
+/// accidental recomposition — or an inapplicable method — surfaces before
+/// any source traffic.
+class Pipeline {
+ public:
+  static Result<Pipeline> Lower(JoinMethodKind method,
+                                const ForeignJoinSpec& spec,
+                                PredicateMask probe_mask = 0);
+
+  JoinMethodKind method() const { return method_; }
+  PredicateMask probe_mask() const { return probe_mask_; }
+  const std::vector<StageDesc>& stages() const { return stages_; }
+
+  /// "SJ: DistinctKeys(all-preds) -> QueryBuild(or-batch+resplit) -> ...".
+  std::string ToString() const;
+
+  /// Executes the composition. `spec` must be the spec Lower() saw. When
+  /// `scheduler` is non-null the composition joins that scheduler's DAG
+  /// (its pool/source/policy win and `pool`/`policy` are ignored);
+  /// otherwise a private scheduler over `pool` is used. `profile`, when
+  /// non-null, receives the per-stage account.
+  Result<ForeignJoinResult> Execute(const ForeignJoinSpec& spec,
+                                    const std::vector<Row>& left_rows,
+                                    TextSource& source,
+                                    ThreadPool* pool = nullptr,
+                                    const FaultPolicy& policy = {},
+                                    PipelineProfile* profile = nullptr,
+                                    StageScheduler* scheduler = nullptr) const;
+
+ private:
+  Pipeline(JoinMethodKind method, PredicateMask probe_mask,
+           std::vector<StageDesc> stages)
+      : method_(method),
+        probe_mask_(probe_mask),
+        stages_(std::move(stages)) {}
+
+  JoinMethodKind method_;
+  PredicateMask probe_mask_;
+  std::vector<StageDesc> stages_;
+};
+
+// ---------------------------------------------------------------------------
+// Method compositions (defined in the per-method files; dispatched by
+// Pipeline::Execute). Internal to the execution layer.
+
+Result<ForeignJoinResult> RunTS(MethodContext& ctx);     // tuple_substitution.cc
+Result<ForeignJoinResult> RunRTP(MethodContext& ctx);    // rtp.cc
+Result<ForeignJoinResult> RunSJ(MethodContext& ctx);     // semi_join.cc
+Result<ForeignJoinResult> RunSJRTP(MethodContext& ctx);  // semi_join.cc
+Result<ForeignJoinResult> RunPTS(MethodContext& ctx);    // probing.cc
+Result<ForeignJoinResult> RunPRTP(MethodContext& ctx);   // probing.cc
+
+}  // namespace textjoin::pipeline
+
+#endif  // TEXTJOIN_CORE_PIPELINE_H_

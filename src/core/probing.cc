@@ -1,11 +1,11 @@
-#include "core/join_method_impls.h"
-
 #include <map>
+#include <optional>
 #include <unordered_map>
 
+#include "core/pipeline.h"
 #include "core/probe_cache.h"
 
-namespace textjoin::internal {
+namespace textjoin::pipeline {
 
 namespace {
 
@@ -33,216 +33,309 @@ Row TermsToRow(const std::vector<std::string>& terms) {
 
 }  // namespace
 
-Result<ForeignJoinResult> ExecutePTS(const ResolvedSpec& rspec,
-                                     const std::vector<Row>& left_rows,
-                                     TextSource& source, PredicateMask mask,
-                                     ThreadPool* pool,
-                                     const FaultPolicy& policy) {
+/// Section 3.3 — probing + tuple substitution, with the probe cache and
+/// send-probe-only-after-failure policy of the paper's algorithm.
+///
+/// The search/probe sequence is inherently serial: whether a probe is sent
+/// at all depends on the outcomes cached for *earlier* combinations, and
+/// parallelizing it would change which invocations are issued (and so the
+/// meter — the paper's core artifact). The chain therefore runs as ONE
+/// SearchDispatch unit — but it never waits for fetches: each successful
+/// search spawns its fetch units and moves straight to the next
+/// combination, so the serial search chain overlaps all document
+/// retrieval. (The old per-group fetch barrier is gone.)
+Result<ForeignJoinResult> RunPTS(MethodContext& ctx) {
+  const ResolvedSpec& rspec = ctx.rspec;
   const ForeignJoinSpec& spec = *rspec.spec;
-  TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
+  StageScheduler& sched = ctx.sched;
   const PredicateMask all = FullMask(spec.joins.size());
-  ForeignJoinResult result;
-  result.schema = rspec.output_schema;
+  const PredicateMask mask = ctx.probe_mask;
 
-  const auto groups = GroupByTerms(rspec, left_rows, all);
+  const StageScheduler::StageId sd_keys = ctx.Stage(StageKind::kDistinctKeys);
+  const StageScheduler::StageId sd_probe = ctx.Stage(StageKind::kProbeFilter);
+  const StageScheduler::StageId sd_build = ctx.Stage(StageKind::kQueryBuild);
+  const StageScheduler::StageId sd_search =
+      ctx.Stage(StageKind::kSearchDispatch);
+  const StageScheduler::StageId sd_fetch = ctx.Stage(StageKind::kFetch);
+  const StageScheduler::StageId sd_assemble = ctx.Stage(StageKind::kAssemble);
 
+  KeyGroups groups;
+  {
+    ScopedStageTimer timer(sched, sd_keys, 1);
+    groups = GroupRowsByTerms(rspec, ctx.left_rows, all);
+  }
+  std::vector<TextQueryPtr> searches;
+  {
+    ScopedStageTimer timer(sched, sd_build, groups.size());
+    searches.reserve(groups.size());
+    for (const std::vector<std::string>& terms : groups.terms) {
+      searches.push_back(BuildSearch(rspec, terms, all));
+    }
+  }
   // How many distinct full-key combinations share each probe key: a probe
   // is only worth sending if at least one *other* combination could reuse
   // its outcome (the paper's refinement for grouped input).
+  std::vector<std::vector<std::string>> probe_keys(groups.size());
   std::map<std::vector<std::string>, size_t> remaining_sharers;
-  for (const auto& [terms, rows] : groups) {
-    ++remaining_sharers[ProbeKeyOf(terms, mask, spec.joins.size())];
+  {
+    ScopedStageTimer timer(sched, sd_probe, groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      probe_keys[g] = ProbeKeyOf(groups.terms[g], mask, spec.joins.size());
+      ++remaining_sharers[probe_keys[g]];
+    }
   }
 
-  // The search/probe sequence is inherently serial: whether a probe is
-  // sent at all depends on the outcomes cached for *earlier* combinations,
-  // and parallelizing it would change which invocations are issued (and so
-  // the meter — the paper's core artifact). Only the long-form fetches of
-  // each successful search overlap across the pool.
-  ProbeCache cache;
-  for (const auto& [terms, row_indices] : groups) {
-    const std::vector<std::string> probe_terms =
-        ProbeKeyOf(terms, mask, spec.joins.size());
-    const Row probe_key = TermsToRow(probe_terms);
-    --remaining_sharers[probe_terms];
+  DocFetcher fetcher(sched, sd_fetch);
+  std::vector<char> group_hit(groups.size(), 0);
+  std::vector<std::vector<size_t>> slots_per_group(groups.size());
+  std::vector<std::vector<std::string>> docids_per_group(groups.size());
+  sched.Spawn(sd_search, 0, [&]() -> Status {
+    ProbeCache cache;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const std::vector<std::string>& probe_terms = probe_keys[g];
+      const Row probe_key = TermsToRow(probe_terms);
+      --remaining_sharers[probe_terms];
 
-    const std::optional<bool> cached = cache.Lookup(probe_key);
-    if (cached.has_value() && !*cached) continue;  // Known fail-query.
+      const std::optional<bool> cached = cache.Lookup(probe_key);
+      if (cached.has_value() && !*cached) continue;  // Known fail-query.
 
-    // Full tuple-substitution search for this combination.
-    TextQueryPtr search = BuildSearch(rspec, terms, all);
-    Result<std::vector<std::string>> searched = source.Search(*search);
-    if (!searched.ok()) {
-      // Best-effort: drop the combination — and learn nothing for the
-      // cache (the outcome is unknown, so no probe is sent either).
-      TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
-          policy, searched.status(), /*affects_completeness=*/true));
-      continue;
-    }
-    const std::vector<std::string>& docids = *searched;
-    if (!docids.empty()) {
-      // A successful full query implies the probe would succeed; remember
-      // it without spending an invocation.
-      cache.Insert(probe_key, true);
-      TEXTJOIN_ASSIGN_OR_RETURN(
-          std::vector<Row> doc_rows,
-          FetchDocRows(rspec, docids, source, pool, policy));
-      for (size_t r : row_indices) {
-        for (const Row& doc_row : doc_rows) {
-          result.rows.push_back(ConcatRows(left_rows[r], doc_row));
-        }
-      }
-      continue;
-    }
-    // The full query failed. Send the probe (selections + probe-column
-    // predicates, short form) so later agreeing combinations can be
-    // skipped — but only if some combination still shares this probe key
-    // and the outcome is not already cached.
-    if (!cached.has_value() && remaining_sharers[probe_terms] > 0) {
-      TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
-      Result<std::vector<std::string>> probe_docs = source.Search(*probe);
-      if (!probe_docs.ok()) {
-        // The probe is purely advisory: its loss costs future skip
-        // opportunities, never rows, so a recovering policy absorbs it.
-        TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
-            policy, probe_docs.status(), /*affects_completeness=*/false));
+      // Full tuple-substitution search for this combination.
+      Result<std::vector<std::string>> searched =
+          sched.Search(sd_search, *searches[g]);
+      if (!searched.ok()) {
+        // Best-effort: drop the combination — and learn nothing for the
+        // cache (the outcome is unknown, so no probe is sent either).
+        TEXTJOIN_RETURN_IF_ERROR(sched.HandleSourceFailure(
+            searched.status(), /*affects_completeness=*/true));
         continue;
       }
-      cache.Insert(probe_key, !probe_docs->empty());
+      if (!searched->empty()) {
+        // A successful full query implies the probe would succeed;
+        // remember it without spending an invocation.
+        cache.Insert(probe_key, true);
+        group_hit[g] = 1;
+        docids_per_group[g] = *std::move(searched);
+        if (spec.need_document_fields) {
+          slots_per_group[g].reserve(docids_per_group[g].size());
+          for (const std::string& docid : docids_per_group[g]) {
+            slots_per_group[g].push_back(fetcher.Fetch(docid));
+          }
+        }
+        continue;
+      }
+      // The full query failed. Send the probe (selections + probe-column
+      // predicates, short form) so later agreeing combinations can be
+      // skipped — but only if some combination still shares this probe key
+      // and the outcome is not already cached.
+      if (!cached.has_value() && remaining_sharers[probe_terms] > 0) {
+        TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
+        Result<std::vector<std::string>> probe_docs =
+            sched.Search(sd_probe, *probe);
+        if (!probe_docs.ok()) {
+          // The probe is purely advisory: its loss costs future skip
+          // opportunities, never rows, so a recovering policy absorbs it.
+          TEXTJOIN_RETURN_IF_ERROR(sched.HandleSourceFailure(
+              probe_docs.status(), /*affects_completeness=*/false));
+          continue;
+        }
+        cache.Insert(probe_key, !probe_docs->empty());
+      }
+    }
+    return Status::OK();
+  });
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+  ScopedStageTimer timer(sched, sd_assemble, 1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!group_hit[g]) continue;
+    std::vector<Row> doc_rows;
+    if (spec.need_document_fields) {
+      doc_rows.reserve(slots_per_group[g].size());
+      for (size_t slot : slots_per_group[g]) {
+        const Document& doc = fetcher.doc(slot);
+        if (IsPlaceholderDoc(doc)) continue;  // Best-effort fetch skip.
+        doc_rows.push_back(DocumentToRow(spec.text, doc));
+      }
+    } else {
+      doc_rows.reserve(docids_per_group[g].size());
+      for (const std::string& docid : docids_per_group[g]) {
+        doc_rows.push_back(DocidOnlyRow(spec.text, docid));
+      }
+    }
+    for (size_t r : groups.rows[g]) {
+      for (const Row& doc_row : doc_rows) {
+        result.rows.push_back(ConcatRows(ctx.left_rows[r], doc_row));
+      }
     }
   }
   return result;
 }
 
-Result<ForeignJoinResult> ExecutePRTP(const ResolvedSpec& rspec,
-                                      const std::vector<Row>& left_rows,
-                                      TextSource& source, PredicateMask mask,
-                                      ThreadPool* pool,
-                                      const FaultPolicy& policy) {
+/// Section 3.3 — probing + relational text processing: one probe per
+/// distinct probe-column combination; the documents each successful probe
+/// matched are fetched (long form, deduplicated across probes) and matched
+/// against the agreeing tuples in SQL.
+///
+/// Every probe unit hands its docids to the shared dedup map the moment its
+/// answer arrives and spawns fetches for the unclaimed ones — so fetches
+/// for early probes overlap the remaining probes. The fetched docid SET is
+/// schedule-independent (first-completed wins only the slot number); the
+/// deterministic first-seen order and the residual matching are replayed
+/// serially in group order after the drain, exactly as the serial
+/// interleaved loop would, so rows and meter totals are byte-identical.
+Result<ForeignJoinResult> RunPRTP(MethodContext& ctx) {
+  const ResolvedSpec& rspec = ctx.rspec;
   const ForeignJoinSpec& spec = *rspec.spec;
-  TEXTJOIN_RETURN_IF_ERROR(ValidateProbeMask(spec, mask));
+  StageScheduler& sched = ctx.sched;
   const PredicateMask all = FullMask(spec.joins.size());
-  ForeignJoinResult result;
-  result.schema = rspec.output_schema;
+  const PredicateMask mask = ctx.probe_mask;
 
-  // One probe per distinct probe-column combination; the documents each
-  // successful probe matched are fetched (long form, deduplicated across
-  // probes) and matched against the agreeing tuples in SQL. Three phases:
-  //
-  //  1. every probe is independent → issued concurrently;
-  //  2. a serial walk in group order assigns each docid its first-seen
-  //     fetch slot (the same distinct set, in the same order, that the
-  //     serial interleaved loop would fetch);
-  //  3. the distinct fetches overlap, and assembly replays group order.
-  //
-  // Meter totals are therefore byte-identical to serial execution.
-  const auto groups = GroupByTerms(rspec, left_rows, mask);
-  std::vector<const std::vector<size_t>*> group_rows;
-  std::vector<TextQueryPtr> probes;
-  group_rows.reserve(groups.size());
-  probes.reserve(groups.size());
-  for (const auto& [probe_terms, row_indices] : groups) {
-    probes.push_back(BuildSearch(rspec, probe_terms, mask));
-    group_rows.push_back(&row_indices);
+  const StageScheduler::StageId sd_keys = ctx.Stage(StageKind::kDistinctKeys);
+  const StageScheduler::StageId sd_build = ctx.Stage(StageKind::kQueryBuild);
+  const StageScheduler::StageId sd_search =
+      ctx.Stage(StageKind::kSearchDispatch);
+  const StageScheduler::StageId sd_fetch = ctx.Stage(StageKind::kFetch);
+  const StageScheduler::StageId sd_match = ctx.Stage(StageKind::kMatch);
+  const StageScheduler::StageId sd_assemble = ctx.Stage(StageKind::kAssemble);
+
+  KeyGroups groups;
+  {
+    ScopedStageTimer timer(sched, sd_keys, 1);
+    groups = GroupRowsByTerms(rspec, ctx.left_rows, mask);
   }
-
-  std::vector<std::vector<std::string>> docids_per_group(groups.size());
-  TEXTJOIN_RETURN_IF_ERROR(
-      ParallelStatusFor(pool, groups.size(), [&](size_t g) -> Status {
-        Result<std::vector<std::string>> searched =
-            source.Search(*probes[g]);
-        if (!searched.ok()) {
-          // Best-effort: the group's rows are missing from the answer.
-          return HandleSourceFailure(policy, searched.status(),
-                                     /*affects_completeness=*/true);
-        }
-        docids_per_group[g] = *std::move(searched);
-        return Status::OK();
-      }));
-
-  std::vector<std::string> distinct_docids;
-  std::unordered_map<std::string, size_t> docid_slot;
-  for (const std::vector<std::string>& docids : docids_per_group) {
-    for (const std::string& docid : docids) {
-      if (docid_slot.emplace(docid, distinct_docids.size()).second) {
-        distinct_docids.push_back(docid);
-      }
+  std::vector<TextQueryPtr> probes;
+  {
+    ScopedStageTimer timer(sched, sd_build, groups.size());
+    probes.reserve(groups.size());
+    for (const std::vector<std::string>& probe_terms : groups.terms) {
+      probes.push_back(BuildSearch(rspec, probe_terms, mask));
     }
   }
-  // FetchDocs keeps the slots aligned with distinct_docids even when a
-  // best-effort policy skips failed fetches (placeholder Documents), so
-  // docid_slot indexing below stays valid.
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
-                            FetchDocs(distinct_docids, source, pool, policy));
 
+  DocFetcher fetcher(sched, sd_fetch);
+  std::vector<std::vector<std::string>> docids_per_group(groups.size());
+  std::mutex mu;
+  std::unordered_map<std::string, size_t> docid_slot;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    sched.Spawn(sd_search, g, [&, g]() -> Status {
+      Result<std::vector<std::string>> searched =
+          sched.Search(sd_search, *probes[g]);
+      if (!searched.ok()) {
+        // Best-effort: the group's rows are missing from the answer.
+        return sched.HandleSourceFailure(searched.status(),
+                                         /*affects_completeness=*/true);
+      }
+      docids_per_group[g] = *std::move(searched);
+      std::lock_guard<std::mutex> lock(mu);
+      for (const std::string& docid : docids_per_group[g]) {
+        if (docid_slot.count(docid) != 0) continue;
+        docid_slot.emplace(docid, fetcher.Fetch(docid));
+      }
+      return Status::OK();
+    });
+  }
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+  // Residual matching is fused with assembly: both replay group order, and
+  // the probe already guaranteed the mask predicates. Matching work is
+  // charged to the Match stage; the pass's wall-clock to Assemble.
+  ScopedStageTimer timer(sched, sd_assemble, 1);
   for (size_t g = 0; g < groups.size(); ++g) {
     const std::vector<std::string>& docids = docids_per_group[g];
     if (docids.empty()) continue;  // Fail: every agreeing tuple is skipped.
     uint64_t scanned = 0;
     for (const std::string& docid : docids) {
-      const Document& doc = docs[docid_slot.at(docid)];
+      const Document& doc = fetcher.doc(docid_slot.at(docid));
       if (IsPlaceholderDoc(doc)) continue;  // Fetch was skipped.
       ++scanned;
       Row doc_row = DocumentToRow(spec.text, doc);
-      for (size_t r : *group_rows[g]) {
-        // The probe guaranteed the mask predicates; check the remainder.
-        if (DocMatchesRow(rspec, left_rows[r], doc, all & ~mask)) {
-          result.rows.push_back(ConcatRows(left_rows[r], doc_row));
+      for (size_t r : groups.rows[g]) {
+        if (DocMatchesRow(rspec, ctx.left_rows[r], doc, all & ~mask)) {
+          result.rows.push_back(ConcatRows(ctx.left_rows[r], doc_row));
         }
       }
     }
-    ChargeRelationalMatches(source, scanned);
+    sched.ChargeRelationalMatches(sd_match, scanned);
   }
   return result;
 }
 
-}  // namespace textjoin::internal
+}  // namespace textjoin::pipeline
 
 namespace textjoin {
 
-Result<std::vector<Row>> ProbeSemiJoinReduce(const ForeignJoinSpec& spec,
-                                             const std::vector<Row>& left_rows,
-                                             TextSource& source,
-                                             PredicateMask probe_mask,
-                                             ThreadPool* pool,
-                                             const FaultPolicy& policy) {
-  TEXTJOIN_RETURN_IF_ERROR(internal::ValidateProbeMask(spec, probe_mask));
-  TEXTJOIN_ASSIGN_OR_RETURN(internal::ResolvedSpec rspec,
-                            internal::ResolveSpec(spec));
-  const auto groups = internal::GroupByTerms(rspec, left_rows, probe_mask);
+Result<std::vector<Row>> ProbeSemiJoinReduce(
+    const ForeignJoinSpec& spec, const std::vector<Row>& left_rows,
+    TextSource& source, PredicateMask probe_mask, ThreadPool* pool,
+    const FaultPolicy& policy, pipeline::PipelineProfile* stage_profile,
+    pipeline::StageScheduler* scheduler) {
+  using pipeline::ScopedStageTimer;
+  using pipeline::StageKind;
+  using pipeline::StageScheduler;
+  TEXTJOIN_RETURN_IF_ERROR(pipeline::ValidateProbeMask(spec, probe_mask));
+  TEXTJOIN_ASSIGN_OR_RETURN(pipeline::ResolvedSpec rspec,
+                            pipeline::ResolveSpec(spec));
+  std::optional<StageScheduler> owned;
+  if (scheduler == nullptr) {
+    owned.emplace(pool, source, policy);
+    scheduler = &*owned;
+  }
+  const StageScheduler::StageId sd_keys = scheduler->AddStage(
+      {StageKind::kDistinctKeys, "probe-cols," + MaskToString(probe_mask)});
+  const StageScheduler::StageId sd_build =
+      scheduler->AddStage({StageKind::kQueryBuild, "per-probe"});
+  const StageScheduler::StageId sd_probe =
+      scheduler->AddStage({StageKind::kProbeFilter, "reducer"});
+
+  pipeline::KeyGroups groups;
+  {
+    ScopedStageTimer timer(*scheduler, sd_keys, 1);
+    groups = pipeline::GroupRowsByTerms(rspec, left_rows, probe_mask);
+  }
   std::vector<TextQueryPtr> probes;
-  std::vector<const std::vector<size_t>*> group_rows;
-  probes.reserve(groups.size());
-  group_rows.reserve(groups.size());
-  for (const auto& [probe_terms, row_indices] : groups) {
-    probes.push_back(internal::BuildSearch(rspec, probe_terms, probe_mask));
-    group_rows.push_back(&row_indices);
+  {
+    ScopedStageTimer timer(*scheduler, sd_build, groups.size());
+    probes.reserve(groups.size());
+    for (const std::vector<std::string>& probe_terms : groups.terms) {
+      probes.push_back(pipeline::BuildSearch(rspec, probe_terms, probe_mask));
+    }
   }
   // Every distinct combination's probe is independent; overlap them.
   std::vector<char> matched(groups.size(), 0);
-  TEXTJOIN_RETURN_IF_ERROR(internal::ParallelStatusFor(
-      pool, groups.size(), [&](size_t g) -> Status {
-        Result<std::vector<std::string>> docids = source.Search(*probes[g]);
-        if (!docids.ok()) {
-          // The reducer is advisory: an unknown probe outcome keeps the
-          // rows (a weaker reduction, never a wrong answer), so any
-          // recovering policy absorbs the failure.
-          TEXTJOIN_RETURN_IF_ERROR(internal::HandleSourceFailure(
-              policy, docids.status(), /*affects_completeness=*/false));
-          matched[g] = 1;
-          return Status::OK();
-        }
-        matched[g] = docids->empty() ? 0 : 1;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    scheduler->Spawn(sd_probe, g, [&, g, scheduler]() -> Status {
+      Result<std::vector<std::string>> docids =
+          scheduler->Search(sd_probe, *probes[g]);
+      if (!docids.ok()) {
+        // The reducer is advisory: an unknown probe outcome keeps the
+        // rows (a weaker reduction, never a wrong answer), so any
+        // recovering policy absorbs the failure.
+        TEXTJOIN_RETURN_IF_ERROR(scheduler->HandleSourceFailure(
+            docids.status(), /*affects_completeness=*/false));
+        matched[g] = 1;
         return Status::OK();
-      }));
+      }
+      matched[g] = docids->empty() ? 0 : 1;
+      return Status::OK();
+    });
+  }
+  TEXTJOIN_RETURN_IF_ERROR(scheduler->Wait());
+
   std::vector<bool> keep(left_rows.size(), false);
   for (size_t g = 0; g < groups.size(); ++g) {
     if (!matched[g]) continue;
-    for (size_t r : *group_rows[g]) keep[r] = true;
+    for (size_t r : groups.rows[g]) keep[r] = true;
   }
   std::vector<Row> survivors;
   for (size_t r = 0; r < left_rows.size(); ++r) {
     if (keep[r]) survivors.push_back(left_rows[r]);
+  }
+  if (stage_profile != nullptr) {
+    *stage_profile = scheduler->Profile({sd_keys, sd_build, sd_probe});
   }
   return survivors;
 }

@@ -1,68 +1,81 @@
-#include "core/join_method_impls.h"
+#include "core/pipeline.h"
 
-namespace textjoin::internal {
+namespace textjoin::pipeline {
 
-Result<ForeignJoinResult> ExecuteRTP(const ResolvedSpec& rspec,
-                                     const std::vector<Row>& left_rows,
-                                     TextSource& source, ThreadPool* pool,
-                                     const FaultPolicy& policy) {
+/// Section 3.2 — relational text processing: one selections-only search,
+/// fetch every candidate's long form, and evaluate the join predicates by
+/// SQL string matching on the relational side.
+///
+/// Composition: the single search unit chains one fetch unit per candidate,
+/// and each fetch chains its document's match unit — so document d is being
+/// string-matched while later candidates are still in flight. The meter
+/// charges c_a per document scanned, mirroring the paper's "proportional to
+/// the number of the documents" model; a per-document charge inside the
+/// match unit sums to exactly the serial bulk charge (placeholder slots —
+/// best-effort fetch skips — never reach a match unit, so they are neither
+/// scanned nor charged). Assembly replays document order.
+Result<ForeignJoinResult> RunRTP(MethodContext& ctx) {
+  const ResolvedSpec& rspec = ctx.rspec;
   const ForeignJoinSpec& spec = *rspec.spec;
-  if (spec.selections.empty()) {
-    // Without selections, the single text search would be unconstrained.
-    // The paper (Section 3.2): "This method further requires that there are
-    // selection conditions on the text data."
-    return Status::InvalidArgument("RTP requires text selection conditions");
+  StageScheduler& sched = ctx.sched;
+  const PredicateMask all = FullMask(spec.joins.size());
+
+  const StageScheduler::StageId sd_build = ctx.Stage(StageKind::kQueryBuild);
+  const StageScheduler::StageId sd_search =
+      ctx.Stage(StageKind::kSearchDispatch);
+  const StageScheduler::StageId sd_fetch = ctx.Stage(StageKind::kFetch);
+  const StageScheduler::StageId sd_match = ctx.Stage(StageKind::kMatch);
+  const StageScheduler::StageId sd_assemble = ctx.Stage(StageKind::kAssemble);
+
+  TextQueryPtr search;
+  {
+    ScopedStageTimer timer(sched, sd_build, 1);
+    search = BuildSelectionSearch(spec);
   }
+
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
 
-  // One search carrying only the selection conditions. If it fails even
-  // under best-effort there is nothing to degrade to: the whole candidate
-  // set is unknown, so the result is empty and marked incomplete.
-  TextQueryPtr search = BuildSelectionSearch(spec);
-  Result<std::vector<std::string>> searched = source.Search(*search);
-  if (!searched.ok()) {
-    TEXTJOIN_RETURN_IF_ERROR(HandleSourceFailure(
-        policy, searched.status(), /*affects_completeness=*/true));
-    return result;
-  }
-  const std::vector<std::string>& docids = *searched;
-  if (docids.empty()) return result;
-
-  // Fetch the long form of every candidate — the method's dominant cost,
-  // and every retrieval is independent, so the fetches overlap across the
-  // pool. The join predicates are then evaluated against full field text
-  // on the relational side.
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
-                            FetchDocs(docids, source, pool, policy));
-
-  // Relational text processing: SQL string matching of every candidate
-  // document. The meter charges c_a per document scanned, mirroring the
-  // paper's "proportional to the number of the documents" model. Matching
-  // is local CPU work; it parallelizes per document into indexed slots,
-  // assembled in document order for deterministic output. Placeholder
-  // slots (best-effort fetch skips) are neither scanned nor charged.
-  uint64_t scanned = 0;
-  for (const Document& doc : docs) {
-    if (!IsPlaceholderDoc(doc)) ++scanned;
-  }
-  ChargeRelationalMatches(source, scanned);
-  const PredicateMask all = FullMask(spec.joins.size());
-  std::vector<std::vector<Row>> rows_per_doc(docs.size());
-  ParallelFor(pool, docs.size(), [&](size_t d) {
-    const Document& doc = docs[d];
-    if (IsPlaceholderDoc(doc)) return;
-    Row doc_row = DocumentToRow(spec.text, doc);
-    for (const Row& left : left_rows) {
-      if (DocMatchesRow(rspec, left, doc, all)) {
-        rows_per_doc[d].push_back(ConcatRows(left, doc_row));
-      }
+  // rows_per_doc is sized once by the search unit before any fetch unit is
+  // spawned (scheduler handoff orders the resize before every unit that
+  // indexes it); a deque keeps element addresses stable.
+  DocFetcher fetcher(sched, sd_fetch);
+  std::deque<std::vector<Row>> rows_per_doc;
+  sched.Spawn(sd_search, 0, [&]() -> Status {
+    Result<std::vector<std::string>> searched =
+        sched.Search(sd_search, *search);
+    if (!searched.ok()) {
+      // If the one search fails even under best-effort there is nothing to
+      // degrade to: the whole candidate set is unknown, so the result is
+      // empty and marked incomplete.
+      return sched.HandleSourceFailure(searched.status(),
+                                       /*affects_completeness=*/true);
     }
+    const std::vector<std::string>& docids = *searched;
+    rows_per_doc.resize(docids.size());
+    for (size_t d = 0; d < docids.size(); ++d) {
+      std::vector<Row>* out = &rows_per_doc[d];
+      fetcher.Fetch(docids[d], sd_match,
+                    [&, out](const Document& doc) -> Status {
+                      sched.ChargeRelationalMatches(sd_match, 1);
+                      Row doc_row = DocumentToRow(spec.text, doc);
+                      for (const Row& left : ctx.left_rows) {
+                        if (DocMatchesRow(rspec, left, doc, all)) {
+                          out->push_back(ConcatRows(left, doc_row));
+                        }
+                      }
+                      return Status::OK();
+                    });
+    }
+    return Status::OK();
   });
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
+  ScopedStageTimer timer(sched, sd_assemble, 1);
   for (std::vector<Row>& rows : rows_per_doc) {
     for (Row& row : rows) result.rows.push_back(std::move(row));
   }
   return result;
 }
 
-}  // namespace textjoin::internal
+}  // namespace textjoin::pipeline

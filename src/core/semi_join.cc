@@ -1,10 +1,11 @@
-#include "core/join_method_impls.h"
-
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
-namespace textjoin::internal {
+#include "core/pipeline.h"
+
+namespace textjoin::pipeline {
 
 namespace {
 
@@ -36,12 +37,16 @@ TextQueryPtr BuildBatchQuery(
 /// fails, best-effort drops the disjunct (recorded as a skipped batch
 /// unit) while retry-then-fail propagates `failure`. Smaller searches give
 /// genuinely better odds: fewer terms, shorter server time, and each
-/// retry-wrapped sub-search gets a fresh retry budget.
+/// retry-wrapped sub-search gets a fresh retry budget. Recovery runs
+/// inside the failed batch's own unit, so other batches' fetches proceed
+/// concurrently; the sub-searches it issues depend only on this batch's
+/// own outcomes, never on scheduling order.
 Result<std::vector<std::string>> RecoverBatch(
+    StageScheduler& sched, StageScheduler::StageId search_stage,
     const ResolvedSpec& rspec,
     const std::vector<std::vector<std::string>>& disjunct_terms,
-    size_t begin, size_t end, Status failure, TextSource& source,
-    const FaultPolicy& policy) {
+    size_t begin, size_t end, Status failure) {
+  const FaultPolicy& policy = sched.policy();
   if (end - begin == 1) {
     if (policy.best_effort()) {
       policy.NoteSkippedBatch(1);
@@ -54,174 +59,244 @@ Result<std::vector<std::string>> RecoverBatch(
   std::vector<std::string> docids;
   for (const auto& [half_begin, half_end] :
        {std::pair{begin, mid}, std::pair{mid, end}}) {
-    Result<std::vector<std::string>> half = source.Search(
+    Result<std::vector<std::string>> half = sched.Search(
+        search_stage,
         *BuildBatchQuery(rspec, disjunct_terms, half_begin, half_end));
     if (!half.ok()) {
       if (!IsTransientError(half.status().code())) return half.status();
       TEXTJOIN_ASSIGN_OR_RETURN(
-          half, RecoverBatch(rspec, disjunct_terms, half_begin, half_end,
-                             half.status(), source, policy));
+          half, RecoverBatch(sched, search_stage, rspec, disjunct_terms,
+                             half_begin, half_end, half.status()));
     }
     docids.insert(docids.end(), half->begin(), half->end());
   }
   return docids;
 }
 
-/// Runs the OR-batched semi-join searches and returns the distinct matching
-/// docids, in first-seen order. Batch size respects the source's term
-/// limit M: each batch spends the selection terms once plus k terms per
-/// disjunct (paper Section 3.2: |Q|/M searches). The chunked OR-batches
-/// are independent searches and are issued concurrently across `pool`;
-/// answers land in per-batch slots and are merged in batch order, so the
-/// first-seen docid order (and hence every downstream result ordering) is
-/// identical to serial execution. A recovering policy re-splits failed
-/// batches (see RecoverBatch) serially, in batch order, after the parallel
-/// pass.
-Result<std::vector<std::string>> RunBatchedSemiJoin(
-    const ResolvedSpec& rspec, const std::vector<Row>& left_rows,
-    TextSource& source, ThreadPool* pool, const FaultPolicy& policy) {
-  const ForeignJoinSpec& spec = *rspec.spec;
-  const PredicateMask all = FullMask(spec.joins.size());
-  const auto groups = GroupByTerms(rspec, left_rows, all);
+/// The OR-batch plan: disjunct terms in deterministic group order, carved
+/// into index ranges of at most batch_capacity disjuncts — keeping the
+/// ranges, rather than sealed opaque queries, is what lets recovery
+/// re-split a failed batch. Batch size respects the source's term limit M:
+/// each batch spends the selection terms once plus k terms per disjunct
+/// (paper Section 3.2: |Q|/M searches).
+struct BatchPlan {
+  std::vector<std::vector<std::string>> disjunct_terms;
+  struct Range {
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Range> ranges;
+};
 
+Result<BatchPlan> PlanBatches(MethodContext& ctx, const KeyGroups& groups) {
+  const ForeignJoinSpec& spec = *ctx.rspec.spec;
   const size_t selection_terms = spec.selections.size();
   const size_t terms_per_disjunct = spec.joins.size();
-  const size_t m = source.max_search_terms();
+  const size_t m = ctx.sched.source().max_search_terms();
   if (selection_terms + terms_per_disjunct > m) {
     return Status::ResourceExhausted(
         "one disjunct already exceeds the term limit M=" + std::to_string(m));
   }
   const size_t batch_capacity =
       std::max<size_t>(1, (m - selection_terms) / terms_per_disjunct);
-
-  // Materialize the disjunct terms (deterministic group order) and carve
-  // them into index ranges of at most batch_capacity disjuncts — keeping
-  // the ranges, rather than sealed opaque queries, is what lets recovery
-  // re-split a failed batch.
-  std::vector<std::vector<std::string>> disjunct_terms;
-  disjunct_terms.reserve(groups.size());
-  for (const auto& [terms, row_indices] : groups) {
-    disjunct_terms.push_back(terms);
+  BatchPlan plan;
+  plan.disjunct_terms = groups.terms;
+  for (size_t b = 0; b < plan.disjunct_terms.size(); b += batch_capacity) {
+    plan.ranges.push_back(
+        {b, std::min(b + batch_capacity, plan.disjunct_terms.size())});
   }
-  struct BatchRange {
-    size_t begin;
-    size_t end;
-  };
-  std::vector<BatchRange> ranges;
-  for (size_t b = 0; b < disjunct_terms.size(); b += batch_capacity) {
-    ranges.push_back(
-        {b, std::min(b + batch_capacity, disjunct_terms.size())});
-  }
+  return plan;
+}
 
-  // Issue the batches concurrently, capturing per-batch outcomes; merge
-  // and recovery run serially in batch order afterwards.
-  std::vector<std::vector<std::string>> answers(ranges.size());
-  std::vector<Status> outcomes(ranges.size(), Status::OK());
-  TEXTJOIN_RETURN_IF_ERROR(
-      ParallelStatusFor(pool, ranges.size(), [&](size_t b) -> Status {
-        Result<std::vector<std::string>> searched = source.Search(
-            *BuildBatchQuery(rspec, disjunct_terms, ranges[b].begin,
-                             ranges[b].end));
-        if (searched.ok()) {
-          answers[b] = *std::move(searched);
-        } else {
-          outcomes[b] = searched.status();
+/// Spawns one search unit per OR-batch. A unit that fails transiently under
+/// a recovering policy re-splits itself (RecoverBatch); on success it
+/// records the batch's answer slot and hands every docid not yet claimed by
+/// a completed batch to `on_new_docid` (under `mu`) — that is where the
+/// fetch units chain on. The set of docids handed over is the distinct
+/// docid set of all answers (schedule-independent); the deterministic
+/// first-seen *order* is recomputed from `answers` in batch-major order by
+/// the assembly stage after the drain.
+void SpawnBatchSearches(
+    MethodContext& ctx, StageScheduler::StageId search_stage,
+    const BatchPlan& plan, std::vector<std::vector<std::string>>& answers,
+    std::mutex& mu, std::function<void(const std::string&)> on_new_docid) {
+  // This frame is gone before the units run (they execute inside the
+  // caller's Wait, or on pool threads): every capture must be a value or a
+  // pointer to caller-owned state — never a reference to a parameter or
+  // local of THIS function (a by-reference capture of the value parameter
+  // `search_stage` reads a dead stack slot).
+  StageScheduler* sched = &ctx.sched;
+  const ResolvedSpec* rspec = &ctx.rspec;
+  const BatchPlan* batches = &plan;
+  std::mutex* answers_mu = &mu;
+  for (size_t b = 0; b < plan.ranges.size(); ++b) {
+    std::vector<std::string>* answer = &answers[b];
+    sched->Spawn(search_stage, b,
+                 [sched, search_stage, rspec, batches, answer, answers_mu, b,
+                  on_new_docid]() -> Status {
+      Result<std::vector<std::string>> searched = sched->Search(
+          search_stage, *BuildBatchQuery(*rspec, batches->disjunct_terms,
+                                         batches->ranges[b].begin,
+                                         batches->ranges[b].end));
+      if (!searched.ok()) {
+        if (!sched->policy().recovers() ||
+            !IsTransientError(searched.status().code())) {
+          return searched.status();
         }
-        return Status::OK();
-      }));
-  for (size_t b = 0; b < ranges.size(); ++b) {
-    if (outcomes[b].ok()) continue;
-    if (!policy.recovers() || !IsTransientError(outcomes[b].code())) {
-      return std::move(outcomes[b]);
-    }
-    TEXTJOIN_ASSIGN_OR_RETURN(
-        answers[b],
-        RecoverBatch(rspec, disjunct_terms, ranges[b].begin, ranges[b].end,
-                     outcomes[b], source, policy));
+        Result<std::vector<std::string>> recovered = RecoverBatch(
+            *sched, search_stage, *rspec, batches->disjunct_terms,
+            batches->ranges[b].begin, batches->ranges[b].end,
+            searched.status());
+        if (!recovered.ok()) return recovered.status();
+        searched = std::move(recovered);
+      }
+      *answer = *std::move(searched);
+      std::lock_guard<std::mutex> lock(*answers_mu);
+      for (const std::string& docid : *answer) {
+        on_new_docid(docid);
+      }
+      return Status::OK();
+    });
   }
-
-  std::vector<std::string> distinct_docids;
-  std::set<std::string> seen;
-  for (const std::vector<std::string>& docids : answers) {
-    for (const std::string& docid : docids) {
-      if (seen.insert(docid).second) distinct_docids.push_back(docid);
-    }
-  }
-  return distinct_docids;
 }
 
 }  // namespace
 
-Result<ForeignJoinResult> ExecuteSJ(const ResolvedSpec& rspec,
-                                    const std::vector<Row>& left_rows,
-                                    TextSource& source, ThreadPool* pool,
-                                    const FaultPolicy& policy) {
+/// Section 3.2 — semi-join: OR-batched searches under the term limit M,
+/// doc-side semi-join output. Batches are issued concurrently and each
+/// batch's fetches start the moment its answer arrives, overlapping the
+/// remaining batch searches. Distinct docids are fetched once; assembly
+/// replays first-seen batch-major order against a null left row.
+Result<ForeignJoinResult> RunSJ(MethodContext& ctx) {
+  const ResolvedSpec& rspec = ctx.rspec;
   const ForeignJoinSpec& spec = *rspec.spec;
-  if (spec.joins.empty()) {
-    return Status::InvalidArgument("SJ requires text join predicates");
-  }
-  if (spec.left_columns_needed) {
-    // Pure SJ cannot recover which tuple matched which document; the paper
-    // applies it when "the query itself is a semi-join" (only docids are
-    // projected). Use SJ+RTP otherwise.
-    return Status::InvalidArgument(
-        "SJ yields a doc-side semi-join; the query needs outer columns");
-  }
-  TEXTJOIN_ASSIGN_OR_RETURN(
-      std::vector<std::string> docids,
-      RunBatchedSemiJoin(rspec, left_rows, source, pool, policy));
-  ForeignJoinResult result;
-  result.schema = rspec.output_schema;
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Row> doc_rows,
-                            FetchDocRows(rspec, docids, source, pool, policy));
-  const Row null_left = NullLeftRow(spec.left_schema);
-  for (Row& doc_row : doc_rows) {
-    result.rows.push_back(ConcatRows(null_left, doc_row));
-  }
-  return result;
-}
-
-Result<ForeignJoinResult> ExecuteSJRTP(const ResolvedSpec& rspec,
-                                       const std::vector<Row>& left_rows,
-                                       TextSource& source, ThreadPool* pool,
-                                       const FaultPolicy& policy) {
-  const ForeignJoinSpec& spec = *rspec.spec;
-  if (spec.joins.empty()) {
-    return Status::InvalidArgument("SJ+RTP requires text join predicates");
-  }
-  TEXTJOIN_ASSIGN_OR_RETURN(
-      std::vector<std::string> docids,
-      RunBatchedSemiJoin(rspec, left_rows, source, pool, policy));
-  // Fetch the distinct candidates once (fetches overlap across the pool),
-  // then recover the pairing by relational text processing over all join
-  // predicates. Placeholder slots (best-effort fetch skips) are neither
-  // scanned nor charged.
-  TEXTJOIN_ASSIGN_OR_RETURN(std::vector<Document> docs,
-                            FetchDocs(docids, source, pool, policy));
-  uint64_t scanned = 0;
-  for (const Document& doc : docs) {
-    if (!IsPlaceholderDoc(doc)) ++scanned;
-  }
-  ChargeRelationalMatches(source, scanned);
-
-  ForeignJoinResult result;
-  result.schema = rspec.output_schema;
+  StageScheduler& sched = ctx.sched;
   const PredicateMask all = FullMask(spec.joins.size());
-  std::vector<std::vector<Row>> rows_per_doc(docs.size());
-  ParallelFor(pool, docs.size(), [&](size_t d) {
-    const Document& doc = docs[d];
-    if (IsPlaceholderDoc(doc)) return;
-    Row doc_row = DocumentToRow(spec.text, doc);
-    for (const Row& left : left_rows) {
-      if (DocMatchesRow(rspec, left, doc, all)) {
-        rows_per_doc[d].push_back(ConcatRows(left, doc_row));
+
+  const StageScheduler::StageId sd_keys = ctx.Stage(StageKind::kDistinctKeys);
+  const StageScheduler::StageId sd_build = ctx.Stage(StageKind::kQueryBuild);
+  const StageScheduler::StageId sd_search =
+      ctx.Stage(StageKind::kSearchDispatch);
+  const StageScheduler::StageId sd_fetch = ctx.Stage(StageKind::kFetch);
+  const StageScheduler::StageId sd_assemble = ctx.Stage(StageKind::kAssemble);
+
+  KeyGroups groups;
+  {
+    ScopedStageTimer timer(sched, sd_keys, 1);
+    groups = GroupRowsByTerms(rspec, ctx.left_rows, all);
+  }
+  BatchPlan plan;
+  {
+    ScopedStageTimer timer(sched, sd_build, 1);
+    TEXTJOIN_ASSIGN_OR_RETURN(plan, PlanBatches(ctx, groups));
+  }
+
+  std::vector<std::vector<std::string>> answers(plan.ranges.size());
+  DocFetcher fetcher(sched, sd_fetch);
+  std::mutex mu;
+  std::unordered_map<std::string, size_t> docid_slot;
+  SpawnBatchSearches(ctx, sd_search, plan, answers, mu,
+                     [&](const std::string& docid) {
+                       if (docid_slot.count(docid) != 0) return;
+                       const size_t slot = spec.need_document_fields
+                                               ? fetcher.Fetch(docid)
+                                               : docid_slot.size();
+                       docid_slot.emplace(docid, slot);
+                     });
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+  ScopedStageTimer timer(sched, sd_assemble, 1);
+  const Row null_left = NullLeftRow(spec.left_schema);
+  std::set<std::string> seen;
+  for (const std::vector<std::string>& docids : answers) {
+    for (const std::string& docid : docids) {
+      if (!seen.insert(docid).second) continue;
+      if (spec.need_document_fields) {
+        const Document& doc = fetcher.doc(docid_slot.at(docid));
+        if (IsPlaceholderDoc(doc)) continue;  // Best-effort fetch skip.
+        result.rows.push_back(
+            ConcatRows(null_left, DocumentToRow(spec.text, doc)));
+      } else {
+        result.rows.push_back(
+            ConcatRows(null_left, DocidOnlyRow(spec.text, docid)));
       }
     }
-  });
-  for (std::vector<Row>& rows : rows_per_doc) {
-    for (Row& row : rows) result.rows.push_back(std::move(row));
   }
   return result;
 }
 
-}  // namespace textjoin::internal
+/// Section 3.2 — semi-join then relational text processing to recover the
+/// (tuple, document) pairing for general (non-semi-join) queries. Same
+/// batch machinery as RunSJ; every distinct docid's fetch chains a string-
+/// match unit, so matching overlaps both the remaining fetches and the
+/// remaining batch searches.
+Result<ForeignJoinResult> RunSJRTP(MethodContext& ctx) {
+  const ResolvedSpec& rspec = ctx.rspec;
+  const ForeignJoinSpec& spec = *rspec.spec;
+  StageScheduler& sched = ctx.sched;
+  const PredicateMask all = FullMask(spec.joins.size());
+
+  const StageScheduler::StageId sd_keys = ctx.Stage(StageKind::kDistinctKeys);
+  const StageScheduler::StageId sd_build = ctx.Stage(StageKind::kQueryBuild);
+  const StageScheduler::StageId sd_search =
+      ctx.Stage(StageKind::kSearchDispatch);
+  const StageScheduler::StageId sd_fetch = ctx.Stage(StageKind::kFetch);
+  const StageScheduler::StageId sd_match = ctx.Stage(StageKind::kMatch);
+  const StageScheduler::StageId sd_assemble = ctx.Stage(StageKind::kAssemble);
+
+  KeyGroups groups;
+  {
+    ScopedStageTimer timer(sched, sd_keys, 1);
+    groups = GroupRowsByTerms(rspec, ctx.left_rows, all);
+  }
+  BatchPlan plan;
+  {
+    ScopedStageTimer timer(sched, sd_build, 1);
+    TEXTJOIN_ASSIGN_OR_RETURN(plan, PlanBatches(ctx, groups));
+  }
+
+  std::vector<std::vector<std::string>> answers(plan.ranges.size());
+  DocFetcher fetcher(sched, sd_fetch);
+  std::mutex mu;
+  std::unordered_map<std::string, size_t> docid_slot;
+  // Grown in lockstep with the fetch slots under `mu`; a deque keeps the
+  // element addresses the match units write through stable.
+  std::deque<std::vector<Row>> rows_per_slot;
+  SpawnBatchSearches(
+      ctx, sd_search, plan, answers, mu, [&](const std::string& docid) {
+        if (docid_slot.count(docid) != 0) return;
+        rows_per_slot.emplace_back();
+        std::vector<Row>* out = &rows_per_slot.back();
+        const size_t slot = fetcher.Fetch(
+            docid, sd_match, [&, out](const Document& doc) -> Status {
+              sched.ChargeRelationalMatches(sd_match, 1);
+              Row doc_row = DocumentToRow(spec.text, doc);
+              for (const Row& left : ctx.left_rows) {
+                if (DocMatchesRow(rspec, left, doc, all)) {
+                  out->push_back(ConcatRows(left, doc_row));
+                }
+              }
+              return Status::OK();
+            });
+        docid_slot.emplace(docid, slot);
+      });
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
+  ForeignJoinResult result;
+  result.schema = rspec.output_schema;
+  ScopedStageTimer timer(sched, sd_assemble, 1);
+  std::set<std::string> seen;
+  for (const std::vector<std::string>& docids : answers) {
+    for (const std::string& docid : docids) {
+      if (!seen.insert(docid).second) continue;
+      for (Row& row : rows_per_slot[docid_slot.at(docid)]) {
+        result.rows.push_back(std::move(row));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace textjoin::pipeline

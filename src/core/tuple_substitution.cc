@@ -1,70 +1,98 @@
-#include "core/join_method_impls.h"
+#include "core/pipeline.h"
 
-namespace textjoin::internal {
+namespace textjoin::pipeline {
 
-Result<ForeignJoinResult> ExecuteTS(const ResolvedSpec& rspec,
-                                    const std::vector<Row>& left_rows,
-                                    TextSource& source, ThreadPool* pool,
-                                    const FaultPolicy& policy) {
+/// Section 3.1 — tuple substitution, one search per distinct combination of
+/// the join columns (the distinct-tuple variant; tuples with NULL /
+/// non-string join values cannot match and are never sent).
+///
+/// Composition: each combination's search unit spawns the fetch units for
+/// its answer immediately, so combination k+1's search overlaps the fetches
+/// of combination k — there is no per-phase barrier. Long forms are
+/// retrieved per search (no cross-search cache), matching the paper's
+/// c_l * V accounting for TS. Assembly replays the deterministic
+/// (term-sorted) group order, so output ordering is identical to serial
+/// execution.
+Result<ForeignJoinResult> RunTS(MethodContext& ctx) {
+  const ResolvedSpec& rspec = ctx.rspec;
   const ForeignJoinSpec& spec = *rspec.spec;
-  if (spec.selections.empty() && spec.joins.empty()) {
-    return Status::InvalidArgument(
-        "TS needs at least one text predicate to instantiate");
-  }
+  StageScheduler& sched = ctx.sched;
   const PredicateMask all = FullMask(spec.joins.size());
+
+  const StageScheduler::StageId sd_keys = ctx.Stage(StageKind::kDistinctKeys);
+  const StageScheduler::StageId sd_build = ctx.Stage(StageKind::kQueryBuild);
+  const StageScheduler::StageId sd_search =
+      ctx.Stage(StageKind::kSearchDispatch);
+  const StageScheduler::StageId sd_fetch = ctx.Stage(StageKind::kFetch);
+  const StageScheduler::StageId sd_assemble = ctx.Stage(StageKind::kAssemble);
+
+  KeyGroups groups;
+  {
+    ScopedStageTimer timer(sched, sd_keys, 1);
+    groups = GroupRowsByTerms(rspec, ctx.left_rows, all);
+  }
+  std::vector<TextQueryPtr> searches;
+  {
+    ScopedStageTimer timer(sched, sd_build, groups.size());
+    searches.reserve(groups.size());
+    for (const std::vector<std::string>& terms : groups.terms) {
+      searches.push_back(BuildSearch(rspec, terms, all));
+    }
+  }
+
+  // Per-group answers: fetch slots when long forms are needed, the raw
+  // docids otherwise. Slot-addressed so assembly is schedule-independent.
+  DocFetcher fetcher(sched, sd_fetch);
+  std::vector<std::vector<size_t>> slots_per_group(groups.size());
+  std::vector<std::vector<std::string>> docids_per_group(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    sched.Spawn(sd_search, g, [&, g]() -> Status {
+      Result<std::vector<std::string>> searched =
+          sched.Search(sd_search, *searches[g]);
+      if (!searched.ok()) {
+        // Best-effort: the whole combination is dropped (its rows are
+        // missing from the answer).
+        return sched.HandleSourceFailure(searched.status(),
+                                         /*affects_completeness=*/true);
+      }
+      docids_per_group[g] = *std::move(searched);
+      if (spec.need_document_fields) {
+        slots_per_group[g].reserve(docids_per_group[g].size());
+        for (const std::string& docid : docids_per_group[g]) {
+          slots_per_group[g].push_back(fetcher.Fetch(docid));
+        }
+      }
+      return Status::OK();
+    });
+  }
+  TEXTJOIN_RETURN_IF_ERROR(sched.Wait());
+
   ForeignJoinResult result;
   result.schema = rspec.output_schema;
-
-  // The distinct-tuple variant (Section 3.1): one search per distinct
-  // combination of join-column values; tuples with NULL / non-string join
-  // values cannot match and are never sent.
-  const auto groups = GroupByTerms(rspec, left_rows, all);
-
-  // Each combination's search + fetches are independent of every other
-  // combination's, so they overlap across the pool. Long forms are
-  // retrieved per search (no cross-search cache), matching the paper's
-  // c_l * V accounting for TS. Per-group text rows land in indexed slots;
-  // assembly below walks the groups in their deterministic (term-sorted)
-  // order, so output ordering is identical to serial execution.
-  std::vector<const std::vector<size_t>*> group_rows;
-  std::vector<TextQueryPtr> searches;
-  group_rows.reserve(groups.size());
-  searches.reserve(groups.size());
-  for (const auto& [terms, row_indices] : groups) {
-    searches.push_back(BuildSearch(rspec, terms, all));
-    group_rows.push_back(&row_indices);
-  }
-
-  std::vector<std::vector<Row>> doc_rows_per_group(groups.size());
-  TEXTJOIN_RETURN_IF_ERROR(
-      ParallelStatusFor(pool, groups.size(), [&](size_t g) -> Status {
-        Result<std::vector<std::string>> searched =
-            source.Search(*searches[g]);
-        if (!searched.ok()) {
-          // Best-effort: the whole combination is dropped (its rows are
-          // missing from the answer).
-          return HandleSourceFailure(policy, searched.status(),
-                                     /*affects_completeness=*/true);
-        }
-        if (searched->empty()) return Status::OK();
-        // Fetches within one group run serially — cross-group overlap
-        // already keeps the pool busy — unless there is only one group.
-        TEXTJOIN_ASSIGN_OR_RETURN(
-            doc_rows_per_group[g],
-            FetchDocRows(rspec, *searched, source,
-                         groups.size() == 1 ? pool : nullptr, policy));
-        return Status::OK();
-      }));
-
+  ScopedStageTimer timer(sched, sd_assemble, 1);
   for (size_t g = 0; g < groups.size(); ++g) {
-    if (doc_rows_per_group[g].empty()) continue;
-    for (size_t r : *group_rows[g]) {
-      for (const Row& doc_row : doc_rows_per_group[g]) {
-        result.rows.push_back(ConcatRows(left_rows[r], doc_row));
+    std::vector<Row> doc_rows;
+    if (spec.need_document_fields) {
+      doc_rows.reserve(slots_per_group[g].size());
+      for (size_t slot : slots_per_group[g]) {
+        const Document& doc = fetcher.doc(slot);
+        if (IsPlaceholderDoc(doc)) continue;  // Best-effort fetch skip.
+        doc_rows.push_back(DocumentToRow(spec.text, doc));
+      }
+    } else {
+      doc_rows.reserve(docids_per_group[g].size());
+      for (const std::string& docid : docids_per_group[g]) {
+        doc_rows.push_back(DocidOnlyRow(spec.text, docid));
+      }
+    }
+    if (doc_rows.empty()) continue;
+    for (size_t r : groups.rows[g]) {
+      for (const Row& doc_row : doc_rows) {
+        result.rows.push_back(ConcatRows(ctx.left_rows[r], doc_row));
       }
     }
   }
   return result;
 }
 
-}  // namespace textjoin::internal
+}  // namespace textjoin::pipeline

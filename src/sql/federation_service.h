@@ -39,6 +39,9 @@ struct QueryOutcome {
   std::string chosen_plan;
 
   /// Per-node actuals (rows + meter deltas), keyed by nodes of `plan`.
+  /// Pipeline-backed nodes (foreign join, probe) additionally carry a
+  /// per-stage breakdown (NodeProfile::stages) which ExplainAnalyze
+  /// renders as indented stage lines under the node.
   ExecutionProfile profile;
 
   /// The executed plan; owning it here keeps `profile`'s keys valid for

@@ -15,7 +15,11 @@ namespace {
 /// tokenizes to itself and never collides with filler ("w<j>") or
 /// user-chosen selection terms.
 std::string PoolToken(size_t pred_index, size_t value_index) {
-  return "p" + std::to_string(pred_index) + "v" + std::to_string(value_index);
+  std::string token = "p";
+  token += std::to_string(pred_index);
+  token += 'v';
+  token += std::to_string(value_index);
+  return token;
 }
 
 }  // namespace
@@ -212,8 +216,9 @@ Result<Scenario> BuildScenario(const ScenarioConfig& config) {
     }
     std::string body;
     for (size_t w = 0; w < config.filler_words_per_doc; ++w) {
-      if (w != 0) body += " ";
-      body += "w" + std::to_string(filler.Next(rng));
+      if (w != 0) body += ' ';
+      body += 'w';
+      body += std::to_string(filler.Next(rng));
     }
     doc.fields["body"].push_back(body);
     Result<DocNum> added = scenario.engine->AddDocument(std::move(doc));

@@ -1,0 +1,374 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "connector/chaos.h"
+#include "connector/remote_text_source.h"
+#include "core/enumerator.h"
+#include "core/executor.h"
+#include "core/statistics.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace textjoin {
+namespace {
+
+using pipeline::DocFetcher;
+using pipeline::IsPlaceholderDoc;
+using pipeline::Pipeline;
+using pipeline::PipelineProfile;
+using pipeline::StageDesc;
+using pipeline::StageKind;
+using pipeline::StageScheduler;
+using textjoin::testing::MakeSmallEngine;
+using textjoin::testing::MakeStudentTable;
+using textjoin::testing::MercuryDecl;
+
+// ------------------------------------------------------------- Lowering
+//
+// Golden tests: each join method lowers to a fixed stage composition. A
+// change here is a change to how a method executes — update deliberately.
+
+class LoweringTest : public ::testing::Test {
+ protected:
+  LoweringTest() : table_(MakeStudentTable()) {}
+
+  ForeignJoinSpec BaseSpec() const {
+    ForeignJoinSpec spec;
+    spec.left_schema = table_->schema();
+    spec.text = MercuryDecl();
+    spec.selections = {{"belief", "title"}};
+    spec.joins = {{"student.name", "author"},
+                  {"student.advisor", "author"}};
+    return spec;
+  }
+
+  std::string Lowered(JoinMethodKind method, const ForeignJoinSpec& spec,
+                      PredicateMask mask = 0) {
+    auto plan = Pipeline::Lower(method, spec, mask);
+    TEXTJOIN_CHECK(plan.ok(), "%s", plan.status().ToString().c_str());
+    return plan->ToString();
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(LoweringTest, TupleSubstitution) {
+  EXPECT_EQ(Lowered(JoinMethodKind::kTS, BaseSpec()),
+            "TS: DistinctKeys(all-preds) -> QueryBuild(per-combination) -> "
+            "SearchDispatch(per-combination) -> Fetch(long-form) -> "
+            "Assemble(group-order)");
+}
+
+TEST_F(LoweringTest, TupleSubstitutionDocidOnly) {
+  ForeignJoinSpec spec = BaseSpec();
+  spec.need_document_fields = false;
+  EXPECT_EQ(Lowered(JoinMethodKind::kTS, spec),
+            "TS: DistinctKeys(all-preds) -> QueryBuild(per-combination) -> "
+            "SearchDispatch(per-combination) -> Fetch(docid-only) -> "
+            "Assemble(group-order)");
+}
+
+TEST_F(LoweringTest, Rtp) {
+  EXPECT_EQ(Lowered(JoinMethodKind::kRTP, BaseSpec()),
+            "RTP: QueryBuild(selections-only) -> SearchDispatch(single) -> "
+            "Fetch(long-form) -> Match(string-match) -> Assemble(doc-order)");
+}
+
+TEST_F(LoweringTest, SemiJoin) {
+  ForeignJoinSpec spec = BaseSpec();
+  spec.left_columns_needed = false;
+  spec.need_document_fields = false;
+  EXPECT_EQ(Lowered(JoinMethodKind::kSJ, spec),
+            "SJ: DistinctKeys(all-preds) -> QueryBuild(or-batch+resplit) -> "
+            "SearchDispatch(per-batch) -> Fetch(docid-only,dedup) -> "
+            "Assemble(null-left,first-seen)");
+}
+
+TEST_F(LoweringTest, SemiJoinRtp) {
+  EXPECT_EQ(Lowered(JoinMethodKind::kSJRTP, BaseSpec()),
+            "SJ+RTP: DistinctKeys(all-preds) -> "
+            "QueryBuild(or-batch+resplit) -> SearchDispatch(per-batch) -> "
+            "Fetch(long-form,dedup) -> Match(string-match) -> "
+            "Assemble(first-seen)");
+}
+
+TEST_F(LoweringTest, ProbeTupleSubstitution) {
+  EXPECT_EQ(Lowered(JoinMethodKind::kPTS, BaseSpec(), 0b01),
+            "P+TS: DistinctKeys(all-preds) -> ProbeFilter(cache,{1}) -> "
+            "QueryBuild(per-combination) -> SearchDispatch(serial-chain) -> "
+            "Fetch(long-form) -> Assemble(group-order)");
+}
+
+TEST_F(LoweringTest, ProbeRtp) {
+  EXPECT_EQ(Lowered(JoinMethodKind::kPRTP, BaseSpec(), 0b10),
+            "P+RTP: DistinctKeys(probe-cols,{2}) -> QueryBuild(per-probe) -> "
+            "SearchDispatch(per-probe) -> Fetch(long-form,dedup) -> "
+            "Match(residual-preds) -> Assemble(group-order)");
+}
+
+TEST_F(LoweringTest, ValidatesMethodPreconditions) {
+  ForeignJoinSpec no_sel = BaseSpec();
+  no_sel.selections.clear();
+  EXPECT_FALSE(Pipeline::Lower(JoinMethodKind::kRTP, no_sel).ok());
+
+  // Pure SJ cannot restore outer columns.
+  EXPECT_FALSE(Pipeline::Lower(JoinMethodKind::kSJ, BaseSpec()).ok());
+
+  // Probe mask on a non-probing method / missing mask on a probing one.
+  EXPECT_FALSE(Pipeline::Lower(JoinMethodKind::kTS, BaseSpec(), 0b01).ok());
+  EXPECT_FALSE(Pipeline::Lower(JoinMethodKind::kPTS, BaseSpec(), 0).ok());
+}
+
+// ------------------------------------------------------------ Scheduler
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : engine_(MakeSmallEngine()), source_(engine_.get()) {}
+
+  std::unique_ptr<TextEngine> engine_;
+  RemoteTextSource source_;
+};
+
+TEST_F(SchedulerTest, RunsEveryUnitAndAggregatesCounts) {
+  StageScheduler sched(nullptr, source_, FaultPolicy{});
+  auto stage = sched.AddStage({StageKind::kSearchDispatch, "test"});
+  std::atomic<int> ran{0};
+  for (uint64_t i = 0; i < 10; ++i) {
+    sched.Spawn(stage, i, [&ran] {
+      ran.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(sched.Wait().ok());
+  EXPECT_EQ(ran.load(), 10);
+  PipelineProfile profile = sched.Profile({stage});
+  ASSERT_EQ(profile.stages.size(), 1u);
+  EXPECT_EQ(profile.stages[0].units, 10u);
+}
+
+TEST_F(SchedulerTest, FailureSelectionIsDeterministic) {
+  // Several units fail; Wait() must report the minimum (stage rank,
+  // ordinal) failure regardless of execution order.
+  for (int trial = 0; trial < 3; ++trial) {
+    ThreadPool pool(3);
+    StageScheduler sched(&pool, source_, FaultPolicy{});
+    auto early = sched.AddStage({StageKind::kSearchDispatch, "early"});
+    auto late = sched.AddStage({StageKind::kFetch, "late"});
+    sched.Spawn(late, 0, [] { return Status::Unavailable("late-0"); });
+    sched.Spawn(early, 7, [] { return Status::Unavailable("early-7"); });
+    sched.Spawn(early, 3, [] { return Status::Unavailable("early-3"); });
+    sched.Spawn(early, 5, [] { return Status::OK(); });
+    Status status = sched.Wait();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "early-3");
+  }
+}
+
+TEST_F(SchedulerTest, AllUnitsRunEvenAfterAFailure) {
+  StageScheduler sched(nullptr, source_, FaultPolicy{});
+  auto stage = sched.AddStage({StageKind::kSearchDispatch, "test"});
+  std::atomic<int> ran{0};
+  sched.Spawn(stage, 0, [] { return Status::Unavailable("boom"); });
+  for (uint64_t i = 1; i < 5; ++i) {
+    sched.Spawn(stage, i, [&ran] {
+      ran.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_FALSE(sched.Wait().ok());
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST_F(SchedulerTest, UnitsMaySpawnDownstreamUnits) {
+  // The barrier-removal primitive: a unit enqueues follow-on work that the
+  // same Wait() drains.
+  ThreadPool pool(2);
+  StageScheduler sched(&pool, source_, FaultPolicy{});
+  auto search = sched.AddStage({StageKind::kSearchDispatch, "s"});
+  auto fetch = sched.AddStage({StageKind::kFetch, "f"});
+  std::atomic<int> fetched{0};
+  for (uint64_t i = 0; i < 4; ++i) {
+    sched.Spawn(search, i, [&sched, fetch, &fetched, i] {
+      sched.Spawn(fetch, i, [&fetched] {
+        fetched.fetch_add(1);
+        return Status::OK();
+      });
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(sched.Wait().ok());
+  EXPECT_EQ(fetched.load(), 4);
+  EXPECT_EQ(sched.Profile({fetch}).stages[0].units, 4u);
+}
+
+TEST_F(SchedulerTest, SearchChargesTheStageProfile) {
+  StageScheduler sched(nullptr, source_, FaultPolicy{});
+  auto stage = sched.AddStage({StageKind::kSearchDispatch, "s"});
+  TextQueryPtr query = TextQuery::Term("title", "belief");
+  auto result = sched.Search(stage, *query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);  // d1, d4
+  PipelineProfile profile = sched.Profile({stage});
+  EXPECT_EQ(profile.stages[0].invocations, 1u);
+  EXPECT_EQ(profile.stages[0].short_docs, 2u);
+}
+
+TEST_F(SchedulerTest, DocFetcherLeavesPlaceholderOnAbsorbedFailure) {
+  ChaosOptions chaos;
+  chaos.content_keyed = true;
+  chaos.fetch_failure_rate = 1.0;
+  ChaosTextSource flaky(&source_, chaos);
+  AtomicDegradation sink;
+  FaultPolicy policy;
+  policy.mode = FailureMode::kBestEffort;
+  policy.degradation = &sink;
+  StageScheduler sched(nullptr, flaky, policy);
+  auto stage = sched.AddStage({StageKind::kFetch, "f"});
+  DocFetcher fetcher(sched, stage);
+  const size_t slot = fetcher.Fetch("d1");
+  ASSERT_TRUE(sched.Wait().ok());  // Failure absorbed under best-effort.
+  EXPECT_TRUE(IsPlaceholderDoc(fetcher.doc(slot)));
+  DegradationReport report = sink.Snapshot();
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.skipped_operations, 1u);
+}
+
+// ------------------------------------------- Byte-identity property test
+//
+// All six methods, at parallelism 1 / 4 / 8, under content-keyed chaos
+// (the same operations fail at any schedule): rows, meter totals, and the
+// degradation report must be byte-identical to the serial execution.
+
+struct MethodCase {
+  JoinMethodKind method;
+  PredicateMask mask;
+};
+
+struct RunOutput {
+  std::vector<std::string> rows;
+  AccessMeter meter;
+  DegradationReport degradation;
+  bool ok = false;
+};
+
+class ByteIdentityTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, double>> {};
+
+TEST_P(ByteIdentityTest, ParallelMatchesSerial) {
+  const auto& [parallelism, seed, failure_rate] = GetParam();
+  const std::vector<MethodCase> cases = {
+      {JoinMethodKind::kTS, 0},    {JoinMethodKind::kRTP, 0},
+      {JoinMethodKind::kSJ, 0},    {JoinMethodKind::kSJRTP, 0},
+      {JoinMethodKind::kPTS, 0b01}, {JoinMethodKind::kPRTP, 0b10},
+  };
+  auto engine = MakeSmallEngine();
+  auto table = MakeStudentTable();
+
+  auto run = [&](const MethodCase& mc, int par) {
+    ForeignJoinSpec spec;
+    spec.left_schema = table->schema();
+    spec.text = MercuryDecl();
+    spec.selections = {{"belief", "title"}};
+    spec.joins = {{"student.name", "author"},
+                  {"student.advisor", "author"}};
+    if (mc.method == JoinMethodKind::kSJ) {
+      spec.left_columns_needed = false;
+      spec.need_document_fields = false;
+    }
+    RemoteTextSource metered(engine.get());
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.content_keyed = true;
+    chaos.search_failure_rate = failure_rate;
+    chaos.fetch_failure_rate = failure_rate;
+    ChaosTextSource flaky(&metered, chaos);
+    AtomicDegradation sink;
+    FaultPolicy policy;
+    policy.mode = FailureMode::kBestEffort;
+    policy.degradation = &sink;
+    std::unique_ptr<ThreadPool> pool;
+    if (par > 1) pool = std::make_unique<ThreadPool>(par - 1);
+    auto result = ExecuteForeignJoin(mc.method, spec, table->rows(), flaky,
+                                     mc.mask, pool.get(), policy);
+    RunOutput out;
+    out.ok = result.ok();
+    if (result.ok()) {
+      for (const Row& row : result->rows) {
+        out.rows.push_back(RowToString(row));
+      }
+    }
+    out.meter = metered.meter();
+    out.degradation = sink.Snapshot();
+    return out;
+  };
+
+  for (const MethodCase& mc : cases) {
+    const RunOutput serial = run(mc, 1);
+    const RunOutput parallel = run(mc, parallelism);
+    const std::string label = std::string(JoinMethodName(mc.method)) +
+                              " seed=" + std::to_string(seed);
+    ASSERT_EQ(parallel.ok, serial.ok) << label;
+    EXPECT_EQ(parallel.rows, serial.rows) << label;
+    EXPECT_EQ(parallel.meter, serial.meter)
+        << label << "\n  parallel: " << parallel.meter.ToString()
+        << "\n  serial:   " << serial.meter.ToString();
+    EXPECT_EQ(parallel.degradation.complete, serial.degradation.complete)
+        << label;
+    EXPECT_EQ(parallel.degradation.skipped_operations,
+              serial.degradation.skipped_operations)
+        << label;
+    EXPECT_EQ(parallel.degradation.skipped_batches,
+              serial.degradation.skipped_batches)
+        << label;
+    EXPECT_EQ(parallel.degradation.batch_resplits,
+              serial.degradation.batch_resplits)
+        << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ByteIdentityTest,
+    ::testing::Combine(::testing::Values(4, 8),
+                       ::testing::Values(1u, 7u, 23u),
+                       ::testing::Values(0.0, 0.35)));
+
+// --------------------------------------------------- EXPLAIN ANALYZE
+
+TEST(PipelineExplainTest, AnalyzeRendersPerStageLines) {
+  auto engine = MakeSmallEngine();
+  RemoteTextSource source(engine.get());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeStudentTable()).ok());
+  auto query = ParseQuery(
+      "select student.name, mercury.docid from student, mercury "
+      "where 'belief' in mercury.title and student.name in mercury.author",
+      MercuryDecl());
+  ASSERT_TRUE(query.ok());
+  StatsRegistry registry;
+  ASSERT_TRUE(ComputeExactStats(*query, catalog, *engine, registry).ok());
+  Enumerator enumerator(&catalog, &registry, engine->num_documents(),
+                        engine->max_search_terms(), EnumeratorOptions{});
+  auto plan = enumerator.Optimize(*query);
+  ASSERT_TRUE(plan.ok());
+  PlanExecutor executor(&catalog, &source);
+  ExecutionProfile profile;
+  auto result = executor.Execute(**plan, *query, &profile);
+  ASSERT_TRUE(result.ok());
+  const std::string text = ExplainAnalyze(**plan, *query, profile);
+  // The foreign-join node carries one indented line per pipeline stage,
+  // with wall-clock and (where charged) meter attribution.
+  EXPECT_NE(text.find("| SearchDispatch("), std::string::npos) << text;
+  EXPECT_NE(text.find("| Assemble("), std::string::npos) << text;
+  EXPECT_NE(text.find("wall="), std::string::npos) << text;
+  EXPECT_NE(text.find("inv="), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace textjoin

@@ -44,8 +44,13 @@ ScenarioConfig RandomConfig(uint64_t seed) {
                            (2.0 * static_cast<double>(num_distinct));
       f = std::min(s + rng.NextDouble() * 3.0, std::max(s, f_max));
     }
-    config.predicates.push_back({"r", "c" + std::to_string(p), fields[p % 2],
-                                 num_distinct, s, f});
+    // Two-step concat: GCC 12's -Wrestrict misfires on
+    // operator+(const char*, std::string&&) at -O2, and the strict CI leg
+    // builds with -Werror.
+    std::string column = "c";
+    column += std::to_string(p);
+    config.predicates.push_back(
+        {"r", std::move(column), fields[p % 2], num_distinct, s, f});
   }
   if (rng.Bernoulli(0.6)) {
     config.selections.push_back(
