@@ -4,15 +4,16 @@
 # under each sanitizer. Run from anywhere; builds land in
 # <repo>/build-check-*.
 #
-#   scripts/check.sh            # Release + address + thread
+#   scripts/check.sh            # Release + address + thread + coverage
 #   scripts/check.sh release    # just the strict Release leg
 #   scripts/check.sh thread     # just the TSan leg (parallel/chaos paths)
+#   scripts/check.sh coverage   # gcov leg + line-coverage floor
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 legs=("${@:-release}")
 if [ "$#" -eq 0 ]; then
-  legs=(release address thread)
+  legs=(release address thread coverage)
 fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
@@ -38,8 +39,12 @@ for leg in "${legs[@]}"; do
       build="$repo/build-check-$leg"
       cmake -B "$build" -S "$repo" -DTEXTJOIN_SANITIZE="$leg"
       ;;
+    coverage)
+      build="$repo/build-check-coverage"
+      cmake -B "$build" -S "$repo" -DTEXTJOIN_SANITIZE= -DTEXTJOIN_COVERAGE=ON
+      ;;
     *)
-      echo "unknown leg '$leg' (want: release, address, thread)" >&2
+      echo "unknown leg '$leg' (want: release, address, thread, coverage)" >&2
       exit 2
       ;;
   esac
@@ -47,6 +52,11 @@ for leg in "${legs[@]}"; do
   cmake --build "$build" -j "$jobs"
   echo "==> [$leg] testing"
   ctest --test-dir "$build" --output-on-failure -j "$jobs"
+  if [ "$leg" = coverage ]; then
+    echo "==> [coverage] line-coverage floor"
+    python3 "$repo/scripts/coverage_report.py" --build-dir "$build" \
+      --out "$build/coverage.json"
+  fi
 done
 
 echo "All checks passed: ${legs[*]}"

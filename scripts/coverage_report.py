@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Line-coverage report and floor gate over gcov's JSON output.
+
+Walks a TEXTJOIN_COVERAGE=ON build tree for .gcda files, runs
+``gcov -t --json-format`` on each (no gcovr/lcov dependency), and merges
+the per-translation-unit line counts by taking the maximum execution
+count per (file, line) — a line is covered if ANY test binary ran it.
+Reports line coverage for the gated source prefixes and fails when a
+prefix drops below its floor.
+
+Usage:
+    python3 scripts/coverage_report.py --build-dir build-coverage \
+        [--out coverage.json] [--floor src/connector=90 ...]
+"""
+
+import argparse
+import collections
+import json
+import pathlib
+import subprocess
+import sys
+
+# Gated prefixes (repo-relative) and their line-coverage floors, in
+# percent. Floors sit a few points below measured coverage so routine
+# changes don't trip them, while a test regression (or untested new
+# surface) in the cache/resilience layer or the join-method core does.
+DEFAULT_FLOORS = {
+    "src/connector": 88.0,  # Measured 90.8% at the floor's introduction.
+    "src/core": 90.0,       # Measured 93.0% at the floor's introduction.
+}
+
+
+def find_repo_root(start: pathlib.Path) -> pathlib.Path:
+    for candidate in [start, *start.parents]:
+        if (candidate / ".git").exists():
+            return candidate
+    return start
+
+
+def gcov_json_docs(gcda: pathlib.Path, cwd: pathlib.Path):
+    """Runs gcov on one .gcda and yields the decoded JSON documents."""
+    proc = subprocess.run(
+        ["gcov", "--stdout", "--json-format", str(gcda)],
+        cwd=str(cwd),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return
+    # One JSON document per line of stdout (gcov emits one per data file).
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def collect_line_counts(build_dir: pathlib.Path, repo: pathlib.Path):
+    """Merged (relpath, line) -> max execution count across all TUs."""
+    counts = collections.defaultdict(int)
+    gcda_files = sorted(build_dir.rglob("*.gcda"))
+    if not gcda_files:
+        sys.exit(f"error: no .gcda files under {build_dir} — build with "
+                 "-DTEXTJOIN_COVERAGE=ON and run ctest first")
+    for gcda in gcda_files:
+        for doc in gcov_json_docs(gcda, build_dir):
+            doc_cwd = pathlib.Path(doc.get("current_working_directory", "."))
+            for entry in doc.get("files", []):
+                path = pathlib.Path(entry["file"])
+                if not path.is_absolute():
+                    path = doc_cwd / path
+                try:
+                    rel = path.resolve().relative_to(repo)
+                except ValueError:
+                    continue  # System or third-party header.
+                for line in entry.get("lines", []):
+                    key = (str(rel), line["line_number"])
+                    counts[key] = max(counts[key], line["count"])
+    return counts
+
+
+def summarize(counts, prefixes):
+    """Per-prefix and per-file {covered, total} rollups."""
+    by_file = collections.defaultdict(lambda: [0, 0])
+    for (rel, _line), count in counts.items():
+        if not any(rel.startswith(p + "/") for p in prefixes):
+            continue
+        by_file[rel][1] += 1
+        if count > 0:
+            by_file[rel][0] += 1
+    summary = {}
+    for prefix in prefixes:
+        covered = total = 0
+        files = {}
+        for rel, (file_covered, file_total) in sorted(by_file.items()):
+            if not rel.startswith(prefix + "/"):
+                continue
+            covered += file_covered
+            total += file_total
+            files[rel] = {"covered": file_covered, "total": file_total}
+        percent = 100.0 * covered / total if total else 0.0
+        summary[prefix] = {
+            "covered": covered,
+            "total": total,
+            "percent": round(percent, 2),
+            "files": files,
+        }
+    return summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--out", type=pathlib.Path,
+                        help="write the JSON summary here (CI artifact)")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="PREFIX=PERCENT",
+                        help="override a gate (default: "
+                        + ", ".join(f"{k}={v}" for k, v in
+                                    DEFAULT_FLOORS.items()) + ")")
+    args = parser.parse_args()
+
+    floors = dict(DEFAULT_FLOORS)
+    for spec in args.floor:
+        prefix, _, percent = spec.partition("=")
+        floors[prefix] = float(percent)
+
+    repo = find_repo_root(pathlib.Path(__file__).resolve().parent)
+    counts = collect_line_counts(args.build_dir.resolve(), repo)
+    summary = summarize(counts, sorted(floors))
+
+    failures = []
+    for prefix, floor in sorted(floors.items()):
+        stats = summary[prefix]
+        status = "ok" if stats["percent"] >= floor else "BELOW FLOOR"
+        print(f"{prefix}: {stats['covered']}/{stats['total']} lines "
+              f"= {stats['percent']:.2f}% (floor {floor:.2f}%) [{status}]")
+        for rel, file_stats in stats["files"].items():
+            pct = (100.0 * file_stats["covered"] / file_stats["total"]
+                   if file_stats["total"] else 0.0)
+            print(f"  {rel}: {file_stats['covered']}/{file_stats['total']} "
+                  f"({pct:.1f}%)")
+        if stats["percent"] < floor:
+            failures.append(prefix)
+
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(
+            {"floors": floors, "summary": summary}, indent=2) + "\n")
+        print(f"summary written to {args.out}")
+
+    if failures:
+        print(f"error: coverage below floor for: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

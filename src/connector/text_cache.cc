@@ -1,0 +1,412 @@
+#include "connector/text_cache.h"
+
+#include "common/check.h"
+
+namespace textjoin {
+
+namespace {
+
+// Rough resident-size model: container/bookkeeping overhead per entry plus
+// the payload strings. Only relative sizes matter (budget pressure), so a
+// simple model is enough — but it must be monotone in payload size.
+constexpr size_t kEntryOverhead = 64;
+constexpr size_t kPerStringOverhead = 16;
+
+size_t StringBytes(const std::string& s) {
+  return s.size() + kPerStringOverhead;
+}
+
+size_t SearchEntryBytes(const std::string& key,
+                        const std::vector<std::string>& docids) {
+  size_t bytes = kEntryOverhead + StringBytes(key);
+  for (const std::string& docid : docids) bytes += StringBytes(docid);
+  return bytes;
+}
+
+size_t DocumentEntryBytes(const std::string& key, const Document& doc) {
+  size_t bytes = kEntryOverhead + StringBytes(key) + StringBytes(doc.docid);
+  for (const auto& [field, values] : doc.fields) {
+    bytes += StringBytes(field);
+    for (const std::string& value : values) bytes += StringBytes(value);
+  }
+  return bytes;
+}
+
+size_t ProbeEntryBytes(const std::string& key) {
+  return kEntryOverhead + StringBytes(key) + 1;
+}
+
+std::string Prefixed(char kind, const std::string& key) {
+  std::string out(1, kind);
+  out += key;
+  return out;
+}
+
+}  // namespace
+
+std::string CacheStats::ToString() const {
+  return "search=" + std::to_string(search_hits) + "/" +
+         std::to_string(search_hits + search_misses) +
+         " fetch=" + std::to_string(fetch_hits) + "/" +
+         std::to_string(fetch_hits + fetch_misses) +
+         " probe=" + std::to_string(probe_hits) + "/" +
+         std::to_string(probe_hits + probe_misses) +
+         " coalesced=" + std::to_string(coalesced) +
+         " inserted=" + std::to_string(insertions) +
+         " rejected=" + std::to_string(admission_rejects + stale_rejects) +
+         " evicted=" + std::to_string(evictions) +
+         " epoch=" + std::to_string(epoch) +
+         " bytes=" + std::to_string(bytes) +
+         " entries=" + std::to_string(entries);
+}
+
+std::string CacheActivity::ToString() const {
+  return "search " + std::to_string(search_hits) + "/" +
+         std::to_string(search_hits + search_misses) + " fetch " +
+         std::to_string(fetch_hits) + "/" +
+         std::to_string(fetch_hits + fetch_misses) + " probe " +
+         std::to_string(probe_hits) + " coalesced " +
+         std::to_string(coalesced);
+}
+
+TextCache::TextCache(CacheOptions options) : options_(std::move(options)) {}
+
+TextCache::~TextCache() {
+  // Flights hold shared_ptrs; any leader still in flight keeps its Flight
+  // alive past our maps. Nothing to drain.
+}
+
+double TextCache::ModeledSaving(const Entry& entry) const {
+  switch (entry.kind) {
+    case 's':
+      // A hit skips one invocation plus the short-form transmissions.
+      // (The postings component also vanishes but its size is unknown at
+      // this layer; the admission model stays conservative without it.)
+      return options_.cost.invocation +
+             options_.cost.short_form *
+                 static_cast<double>(entry.docids.size());
+    case 'd':
+      return options_.cost.long_form;
+    case 'p':
+      // A known probe outcome skips (at least) the probe invocation.
+      return options_.cost.invocation;
+  }
+  return 0.0;
+}
+
+void TextCache::AdmitLocked(Entry entry, uint64_t epoch) {
+  if (epoch != epoch_) {
+    ++stats_.stale_rejects;
+    return;
+  }
+  if (entry.bytes > options_.EffectiveMaxEntryBytes()) {
+    ++stats_.admission_rejects;
+    return;
+  }
+  const double bookkeeping = options_.bookkeeping_seconds_per_byte *
+                             static_cast<double>(entry.bytes);
+  if (ModeledSaving(entry) - bookkeeping < options_.min_saving_seconds) {
+    ++stats_.admission_rejects;
+    return;
+  }
+  auto it = index_.find(entry.key);
+  if (it != index_.end()) {
+    // Refresh (e.g. two leaders raced with coalescing off): replace the
+    // payload and promote to most-recent.
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  ++stats_.insertions;
+  EvictToBudgetLocked();
+}
+
+void TextCache::EvictToBudgetLocked() {
+  while (bytes_ > options_.byte_budget && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+TextCache::SearchTicket TextCache::BeginSearch(
+    const std::string& canonical_key) {
+  const std::string key = Prefixed('s', canonical_key);
+  SearchTicket ticket;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // Promote to most-recent.
+    ticket.cached = it->second->docids;
+    ++stats_.search_hits;
+    return ticket;
+  }
+  ++stats_.search_misses;
+  ticket.epoch = epoch_;
+  if (options_.coalesce && options_.cache_searches) {
+    auto [fit, inserted] =
+        search_flights_.try_emplace(key, nullptr);
+    if (inserted) {
+      fit->second = std::make_shared<SearchFlight>();
+      ticket.flight = fit->second;
+      ticket.leader = true;
+    } else {
+      ticket.flight = fit->second;
+      ++stats_.coalesced;
+    }
+  } else {
+    ticket.leader = true;
+  }
+  return ticket;
+}
+
+void TextCache::FinishSearch(const std::string& canonical_key,
+                             const SearchTicket& ticket,
+                             const Result<std::vector<std::string>>& result) {
+  TEXTJOIN_CHECK(ticket.leader, "FinishSearch by a non-leader");
+  const std::string key = Prefixed('s', canonical_key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok() && options_.cache_searches) {
+      Entry entry;
+      entry.key = key;
+      entry.kind = 's';
+      entry.docids = result.value();
+      entry.bytes = SearchEntryBytes(key, entry.docids);
+      AdmitLocked(std::move(entry), ticket.epoch);
+    }
+    search_flights_.erase(key);
+  }
+  if (ticket.flight != nullptr) {
+    std::lock_guard<std::mutex> flock(ticket.flight->m);
+    ticket.flight->result = result;
+    ticket.flight->done = true;
+    ticket.flight->cv.notify_all();
+  }
+}
+
+Result<std::vector<std::string>> TextCache::WaitSearch(SearchFlight& flight) {
+  std::unique_lock<std::mutex> lock(flight.m);
+  flight.cv.wait(lock, [&flight] { return flight.done; });
+  return flight.result;
+}
+
+TextCache::FetchTicket TextCache::BeginFetch(const std::string& docid) {
+  const std::string key = Prefixed('d', docid);
+  FetchTicket ticket;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ticket.cached = it->second->doc;
+    ++stats_.fetch_hits;
+    return ticket;
+  }
+  ++stats_.fetch_misses;
+  ticket.epoch = epoch_;
+  if (options_.coalesce && options_.cache_documents) {
+    auto [fit, inserted] = fetch_flights_.try_emplace(key, nullptr);
+    if (inserted) {
+      fit->second = std::make_shared<FetchFlight>();
+      ticket.flight = fit->second;
+      ticket.leader = true;
+    } else {
+      ticket.flight = fit->second;
+      ++stats_.coalesced;
+    }
+  } else {
+    ticket.leader = true;
+  }
+  return ticket;
+}
+
+void TextCache::FinishFetch(const std::string& docid,
+                            const FetchTicket& ticket,
+                            const Result<Document>& result) {
+  TEXTJOIN_CHECK(ticket.leader, "FinishFetch by a non-leader");
+  const std::string key = Prefixed('d', docid);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok() && options_.cache_documents) {
+      Entry entry;
+      entry.key = key;
+      entry.kind = 'd';
+      entry.doc = result.value();
+      entry.bytes = DocumentEntryBytes(key, *entry.doc);
+      AdmitLocked(std::move(entry), ticket.epoch);
+    }
+    fetch_flights_.erase(key);
+  }
+  if (ticket.flight != nullptr) {
+    std::lock_guard<std::mutex> flock(ticket.flight->m);
+    ticket.flight->result = result;
+    ticket.flight->done = true;
+    ticket.flight->cv.notify_all();
+  }
+}
+
+Result<Document> TextCache::WaitFetch(FetchFlight& flight) {
+  std::unique_lock<std::mutex> lock(flight.m);
+  flight.cv.wait(lock, [&flight] { return flight.done; });
+  return flight.result;
+}
+
+std::optional<bool> TextCache::LookupProbe(const std::string& canonical_key) {
+  const std::string key = Prefixed('p', canonical_key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.probe_hits;
+    return it->second->probe_matched;
+  }
+  ++stats_.probe_misses;
+  return std::nullopt;
+}
+
+void TextCache::InsertProbe(const std::string& canonical_key, uint64_t epoch,
+                            bool matched) {
+  if (!options_.cache_probes) return;
+  Entry entry;
+  entry.key = Prefixed('p', canonical_key);
+  entry.kind = 'p';
+  entry.probe_matched = matched;
+  entry.bytes = ProbeEntryBytes(entry.key);
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmitLocked(std::move(entry), epoch);
+}
+
+uint64_t TextCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void TextCache::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  ++epoch_;
+  ++stats_.invalidations;
+  // In-flight leaders publish to their waiters as usual but their inserts
+  // are rejected by the epoch check in AdmitLocked.
+}
+
+CacheStats TextCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats snapshot = stats_;
+  snapshot.bytes = bytes_;
+  snapshot.entries = index_.size();
+  snapshot.epoch = epoch_;
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// CachingTextSource
+
+CachingTextSource::CachingTextSource(TextSource* inner,
+                                     std::shared_ptr<TextCache> cache)
+    : TextSourceDecorator(inner), cache_(std::move(cache)) {
+  TEXTJOIN_CHECK(cache_ != nullptr, "CachingTextSource needs a cache");
+}
+
+Result<std::vector<std::string>> CachingTextSource::Search(
+    const TextQuery& query) const {
+  Outcome outcome;
+  return SearchWithOutcome(query, &outcome);
+}
+
+Result<Document> CachingTextSource::Fetch(const std::string& docid) const {
+  Outcome outcome;
+  return FetchWithOutcome(docid, &outcome);
+}
+
+Result<std::vector<std::string>> CachingTextSource::SearchWithOutcome(
+    const TextQuery& query, Outcome* outcome) const {
+  const std::string key = query.CanonicalKey();
+  TextCache::SearchTicket ticket = cache_->BeginSearch(key);
+  if (ticket.cached.has_value()) {
+    *outcome = Outcome::kHit;
+    search_hits_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(*ticket.cached);
+  }
+  if (!ticket.leader) {
+    *outcome = Outcome::kCoalesced;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return TextCache::WaitSearch(*ticket.flight);
+  }
+  *outcome = Outcome::kMiss;
+  search_misses_.fetch_add(1, std::memory_order_relaxed);
+  Result<std::vector<std::string>> result = inner_->Search(query);
+  cache_->FinishSearch(key, ticket, result);
+  return result;
+}
+
+Result<Document> CachingTextSource::FetchWithOutcome(const std::string& docid,
+                                                     Outcome* outcome) const {
+  TextCache::FetchTicket ticket = cache_->BeginFetch(docid);
+  if (ticket.cached.has_value()) {
+    *outcome = Outcome::kHit;
+    fetch_hits_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(*ticket.cached);
+  }
+  if (!ticket.leader) {
+    *outcome = Outcome::kCoalesced;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return TextCache::WaitFetch(*ticket.flight);
+  }
+  *outcome = Outcome::kMiss;
+  fetch_misses_.fetch_add(1, std::memory_order_relaxed);
+  Result<Document> result = inner_->Fetch(docid);
+  cache_->FinishFetch(docid, ticket, result);
+  return result;
+}
+
+CachingTextSource::ProbeTicket CachingTextSource::BeginProbe(
+    const TextQuery& probe) const {
+  ProbeTicket ticket;
+  ticket.epoch = cache_->epoch();
+  ticket.cached = cache_->LookupProbe(probe.CanonicalKey());
+  return ticket;
+}
+
+void CachingTextSource::RecordProbe(const TextQuery& probe, uint64_t epoch,
+                                    bool matched) const {
+  cache_->InsertProbe(probe.CanonicalKey(), epoch, matched);
+}
+
+void CachingTextSource::NoteProbeHit() const {
+  probe_hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheActivity CachingTextSource::activity() const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  CacheActivity a;
+  a.search_hits = search_hits_.load(kRelaxed);
+  a.search_misses = search_misses_.load(kRelaxed);
+  a.fetch_hits = fetch_hits_.load(kRelaxed);
+  a.fetch_misses = fetch_misses_.load(kRelaxed);
+  a.probe_hits = probe_hits_.load(kRelaxed);
+  a.coalesced = coalesced_.load(kRelaxed);
+  return a;
+}
+
+CachingTextSource* UnwrapCache(TextSource* source) {
+  TextSource* current = source;
+  while (current != nullptr) {
+    if (auto* caching = dynamic_cast<CachingTextSource*>(current)) {
+      return caching;
+    }
+    auto* decorator = dynamic_cast<TextSourceDecorator*>(current);
+    if (decorator == nullptr) return nullptr;
+    current = decorator->inner();
+  }
+  return nullptr;
+}
+
+}  // namespace textjoin

@@ -1,0 +1,293 @@
+#ifndef TEXTJOIN_CONNECTOR_TEXT_CACHE_H_
+#define TEXTJOIN_CONNECTOR_TEXT_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "connector/cost_meter.h"
+#include "connector/text_source.h"
+#include "text/document.h"
+#include "text/query.h"
+
+/// \file
+/// Cross-query caching at the loose-integration boundary.
+///
+/// The paper's probing methods (Section 3.3) cache probe outcomes within
+/// one query; under the ROADMAP's heavy-traffic setting the same searches
+/// and retrievals recur ACROSS queries, each re-paying c_i + c_p + c_s (or
+/// c_l). This layer holds three cross-query stores under one LRU byte
+/// budget:
+///
+///  - search results, keyed on TextQuery::CanonicalKey() so conjunct /
+///    disjunct reorderings and duplications of the same Boolean query share
+///    one entry;
+///  - long-form documents by docid;
+///  - probe outcomes (the Section 3.3 cache promoted to session scope):
+///    whether a probe query matched anything, keyed on the probe query's
+///    canonical key — sound across queries because the key captures the
+///    whole probe expression, selections included.
+///
+/// Invalidation is epoch-based: when the corpus changes, AdvanceEpoch()
+/// drops everything and bumps a counter; an in-flight upstream call that
+/// started under the old epoch cannot publish into the new one. Admission
+/// is cost-model-aware: an entry is admitted only when the modeled seconds
+/// it saves per hit (c_i + c_s·|result| for a search, c_l for a document,
+/// c_i for a probe) beat its modeled bookkeeping cost. In-flight request
+/// coalescing makes N concurrent identical operations issue ONE upstream
+/// call (stampede suppression): followers block on the leader's flight and
+/// receive a copy of its final result — including the leader's retries
+/// when a ResilientTextSource sits below, so coalesced requests never
+/// double-retry and never touch the circuit breaker themselves.
+///
+/// Layering (see DESIGN.md §10): the CachingTextSource decorator goes
+/// OUTERMOST — above resilience, chaos and the meter — so a hit skips the
+/// meter entirely. The meter keeps counting upstream calls actually made;
+/// hits are reported separately (CacheActivity / "| cache" profile lines).
+
+namespace textjoin {
+
+/// Tuning knobs for a TextCache. Defaults cache everything that the cost
+/// model says is worth keeping, under a 64 MiB budget.
+struct CacheOptions {
+  size_t byte_budget = 64ull << 20;  ///< Shared across all three stores.
+  /// Largest admissible entry; 0 means byte_budget / 8. An entry bigger
+  /// than this is rejected outright (it would evict too much).
+  size_t max_entry_bytes = 0;
+  CostParams cost;  ///< Constants for the admission savings model.
+  /// Admit only entries whose modeled per-hit saving (minus bookkeeping)
+  /// is at least this many simulated seconds. The default 0 admits any
+  /// entry that saves more than it costs to keep.
+  double min_saving_seconds = 0.0;
+  /// Modeled cost of keeping one byte resident (pressure on the budget);
+  /// scales the admission threshold with entry size.
+  double bookkeeping_seconds_per_byte = 1e-9;
+  bool cache_searches = true;
+  bool cache_documents = true;
+  bool cache_probes = true;
+  bool coalesce = true;  ///< In-flight coalescing of identical operations.
+
+  size_t EffectiveMaxEntryBytes() const {
+    return max_entry_bytes != 0 ? max_entry_bytes : byte_budget / 8;
+  }
+};
+
+/// Global counters of one TextCache (all sessions sharing it).
+struct CacheStats {
+  uint64_t search_hits = 0;
+  uint64_t search_misses = 0;
+  uint64_t fetch_hits = 0;
+  uint64_t fetch_misses = 0;
+  uint64_t probe_hits = 0;
+  uint64_t probe_misses = 0;
+  uint64_t coalesced = 0;          ///< Operations served by another's flight.
+  uint64_t insertions = 0;
+  uint64_t admission_rejects = 0;  ///< Entries the savings model refused.
+  uint64_t stale_rejects = 0;      ///< Inserts that lost an epoch race.
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;      ///< AdvanceEpoch calls.
+  uint64_t epoch = 0;
+  size_t bytes = 0;
+  size_t entries = 0;
+
+  /// "hits=12 misses=3 coalesced=0 evictions=1 bytes=4096 entries=7".
+  std::string ToString() const;
+};
+
+/// Per-query view of cache traffic, snapshotted from one CachingTextSource
+/// instance (one instance serves one FederationService::Run call).
+struct CacheActivity {
+  uint64_t search_hits = 0;
+  uint64_t search_misses = 0;
+  uint64_t fetch_hits = 0;
+  uint64_t fetch_misses = 0;
+  uint64_t probe_hits = 0;   ///< Session probe outcomes reused.
+  uint64_t coalesced = 0;    ///< Served by waiting on another's flight.
+
+  uint64_t TotalHits() const { return search_hits + fetch_hits + probe_hits; }
+  bool Empty() const {
+    return search_hits == 0 && search_misses == 0 && fetch_hits == 0 &&
+           fetch_misses == 0 && probe_hits == 0 && coalesced == 0;
+  }
+  /// "search 2/5 fetch 0/3 probe 1 coalesced 0" (hits/lookups).
+  std::string ToString() const;
+};
+
+/// The shared store: LRU over search/document/probe entries under one byte
+/// budget, epoch invalidation, cost-model admission, and the coalescing
+/// flight table. All methods are thread-safe (one internal mutex; waiting
+/// on a flight blocks outside it). Shareable across any number of
+/// CachingTextSource instances and sessions.
+class TextCache {
+ public:
+  explicit TextCache(CacheOptions options = CacheOptions());
+  ~TextCache();
+
+  TextCache(const TextCache&) = delete;
+  TextCache& operator=(const TextCache&) = delete;
+
+  /// One in-flight upstream operation that followers wait on. The leader
+  /// publishes exactly once; the stored Result is copied out per waiter.
+  template <typename T>
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Result<T> result;
+    Flight() : result(Status::Unavailable("operation in flight")) {}
+  };
+  using SearchFlight = Flight<std::vector<std::string>>;
+  using FetchFlight = Flight<Document>;
+
+  /// The atomically-taken decision for one search lookup. Exactly one of
+  /// three shapes: `cached` set (hit); `leader` true (perform the upstream
+  /// call, then FinishSearch — `epoch` is the epoch the result belongs
+  /// to); `flight` set with `leader` false (wait on it with WaitSearch).
+  struct SearchTicket {
+    std::optional<std::vector<std::string>> cached;
+    std::shared_ptr<SearchFlight> flight;
+    bool leader = false;
+    uint64_t epoch = 0;
+  };
+  SearchTicket BeginSearch(const std::string& canonical_key);
+  /// Publishes the leader's result: admits it into the store (success
+  /// only, and only if the epoch did not advance meanwhile) and wakes the
+  /// flight's waiters. Must be called exactly once per leader ticket, on
+  /// success AND failure.
+  void FinishSearch(const std::string& canonical_key,
+                    const SearchTicket& ticket,
+                    const Result<std::vector<std::string>>& result);
+  static Result<std::vector<std::string>> WaitSearch(SearchFlight& flight);
+
+  /// Same protocol for document retrieval.
+  struct FetchTicket {
+    std::optional<Document> cached;
+    std::shared_ptr<FetchFlight> flight;
+    bool leader = false;
+    uint64_t epoch = 0;
+  };
+  FetchTicket BeginFetch(const std::string& docid);
+  void FinishFetch(const std::string& docid, const FetchTicket& ticket,
+                   const Result<Document>& result);
+  static Result<Document> WaitFetch(FetchFlight& flight);
+
+  /// Probe outcomes (no coalescing: probes already dedup per query, and
+  /// the outcome is one bit). Lookup returns whether the probe query
+  /// matched anything, if known for the current epoch.
+  std::optional<bool> LookupProbe(const std::string& canonical_key);
+  /// Records a probe outcome observed under `epoch` (capture epoch()
+  /// BEFORE issuing the probe); rejected if the epoch advanced since.
+  void InsertProbe(const std::string& canonical_key, uint64_t epoch,
+                   bool matched);
+
+  uint64_t epoch() const;
+  /// Corpus changed: drop every entry, bump the epoch. In-flight leaders
+  /// that started under the old epoch will fail to publish.
+  void AdvanceEpoch();
+
+  CacheStats Stats() const;
+  const CacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;  ///< Prefixed ('s'/'d'/'p') canonical key.
+    char kind;
+    size_t bytes = 0;
+    std::vector<std::string> docids;  ///< kind 's'.
+    std::optional<Document> doc;      ///< kind 'd'.
+    bool probe_matched = false;       ///< kind 'p'.
+  };
+  using Lru = std::list<Entry>;
+
+  /// Modeled simulated seconds one hit on this entry saves.
+  double ModeledSaving(const Entry& entry) const;
+  /// Inserts/refreshes under the admission policy. Caller holds mu_.
+  void AdmitLocked(Entry entry, uint64_t epoch);
+  void EvictToBudgetLocked();
+
+  const CacheOptions options_;
+
+  mutable std::mutex mu_;
+  Lru lru_;  ///< Front = most recent.
+  std::unordered_map<std::string, Lru::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<SearchFlight>>
+      search_flights_;
+  std::unordered_map<std::string, std::shared_ptr<FetchFlight>> fetch_flights_;
+  size_t bytes_ = 0;
+  uint64_t epoch_ = 0;
+  CacheStats stats_;  ///< bytes/entries/epoch filled in on snapshot.
+};
+
+/// The decorator: consults a (possibly shared) TextCache before
+/// delegating. Place OUTERMOST in the source chain — above resilience —
+/// so hits bypass retries, the breaker and the meter, and a coalesced
+/// miss's single upstream call carries the leader's retries for everyone.
+///
+/// Thread-safe like every TextSource; per-instance traffic counters are
+/// relaxed atomics, so activity() snapshots are exact once the operations
+/// counted have completed (the same contract as AtomicAccessMeter).
+class CachingTextSource final : public TextSourceDecorator {
+ public:
+  /// How one operation was served — used by the pipeline scheduler to
+  /// attribute stage counters (a kHit charges cache counters, not source
+  /// counters, mirroring what the meter saw).
+  enum class Outcome { kMiss, kHit, kCoalesced };
+
+  /// `inner` must outlive this object; `cache` must be non-null.
+  CachingTextSource(TextSource* inner, std::shared_ptr<TextCache> cache);
+
+  Result<std::vector<std::string>> Search(
+      const TextQuery& query) const override;
+  Result<Document> Fetch(const std::string& docid) const override;
+
+  /// Search/Fetch variants reporting how the operation was served.
+  Result<std::vector<std::string>> SearchWithOutcome(const TextQuery& query,
+                                                     Outcome* outcome) const;
+  Result<Document> FetchWithOutcome(const std::string& docid,
+                                    Outcome* outcome) const;
+
+  /// Session-scope probe outcomes (paper Section 3.3 across queries).
+  /// BeginProbe: the cached outcome if known, plus the epoch token to pass
+  /// to RecordProbe after actually probing.
+  struct ProbeTicket {
+    std::optional<bool> cached;
+    uint64_t epoch = 0;
+  };
+  ProbeTicket BeginProbe(const TextQuery& probe) const;
+  void RecordProbe(const TextQuery& probe, uint64_t epoch, bool matched) const;
+  /// Counts one reuse of a session probe outcome (the consumer skipped an
+  /// upstream operation because of it).
+  void NoteProbeHit() const;
+
+  /// Per-instance traffic snapshot (one instance = one query execution in
+  /// FederationService, so this is the per-query cache account).
+  CacheActivity activity() const;
+
+  TextCache* cache() const { return cache_.get(); }
+
+ private:
+  std::shared_ptr<TextCache> cache_;
+  mutable std::atomic<uint64_t> search_hits_{0};
+  mutable std::atomic<uint64_t> search_misses_{0};
+  mutable std::atomic<uint64_t> fetch_hits_{0};
+  mutable std::atomic<uint64_t> fetch_misses_{0};
+  mutable std::atomic<uint64_t> probe_hits_{0};
+  mutable std::atomic<uint64_t> coalesced_{0};
+};
+
+/// Walks a decorator chain down to the CachingTextSource, or null when the
+/// chain has none. Lets the pipeline scheduler and the probing methods see
+/// through outer wrappers (mirror of UnwrapRemote).
+CachingTextSource* UnwrapCache(TextSource* source);
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CONNECTOR_TEXT_CACHE_H_

@@ -526,6 +526,21 @@ void RenderAnalyze(const PlanNode& node, const FederatedQuery& query,
       out += stage.ToString();
       out += "\n";
     }
+    // Cross-query cache traffic summed over the node's stages, on its own
+    // line next to the stage lines. Rendered only when the node touched a
+    // cache at all, so cache-off output is byte-identical to before.
+    uint64_t hits = 0, misses = 0, coalesced = 0;
+    for (const pipeline::StageStats& stage : it->second.stages.stages) {
+      hits += stage.cache_hits;
+      misses += stage.cache_misses;
+      coalesced += stage.cache_coalesced;
+    }
+    if (hits + misses + coalesced != 0) {
+      out += pad;
+      out += "| cache hits=" + std::to_string(hits) +
+             " misses=" + std::to_string(misses) +
+             " coalesced=" + std::to_string(coalesced) + "\n";
+    }
   }
   if (node.left != nullptr) {
     RenderAnalyze(*node.left, query, profile, params, indent + 1, out);

@@ -77,6 +77,9 @@ std::string StageStats::ToString() const {
   append("short", short_docs);
   append("long", long_docs);
   append("rmatch", relational_matches);
+  append("chit", cache_hits);
+  append("cmiss", cache_misses);
+  append("cwait", cache_coalesced);
   return out;
 }
 
@@ -272,6 +275,9 @@ struct StageCounters {
   std::atomic<uint64_t> short_docs{0};
   std::atomic<uint64_t> long_docs{0};
   std::atomic<uint64_t> relational_matches{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> cache_coalesced{0};
 };
 
 struct StageScheduler::Task {
@@ -302,6 +308,10 @@ StageScheduler::StageScheduler(ThreadPool* pool, TextSource& source,
                                const FaultPolicy& policy)
     : pool_(pool),
       source_(source),
+      // Only a caching decorator at the FRONT of the chain is consulted
+      // per-outcome; a deeper one still works (Search/Fetch route through
+      // it) but its outcomes are not attributable to stages from here.
+      caching_(dynamic_cast<CachingTextSource*>(&source)),
       policy_(policy),
       state_(std::make_shared<State>()) {}
 
@@ -402,6 +412,32 @@ Status StageScheduler::Wait() {
 Result<std::vector<std::string>> StageScheduler::Search(
     StageId stage, const TextQuery& query) {
   OpTimer timer(*this, stage);
+  if (caching_ != nullptr) {
+    CachingTextSource::Outcome outcome;
+    Result<std::vector<std::string>> result =
+        caching_->SearchWithOutcome(query, &outcome);
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    switch (outcome) {
+      case CachingTextSource::Outcome::kMiss:
+        // The upstream call happened: charge it as always.
+        if (result.ok()) {
+          stage->invocations.fetch_add(1, kRelaxed);
+          stage->short_docs.fetch_add(result->size(), kRelaxed);
+        }
+        stage->cache_misses.fetch_add(1, kRelaxed);
+        break;
+      case CachingTextSource::Outcome::kHit:
+        // No upstream call: the stage profile mirrors the meter (nothing
+        // charged) and reports the hit separately.
+        stage->cache_hits.fetch_add(1, kRelaxed);
+        break;
+      case CachingTextSource::Outcome::kCoalesced:
+        // The ONE upstream call is charged by the leader's stage.
+        stage->cache_coalesced.fetch_add(1, kRelaxed);
+        break;
+    }
+    return result;
+  }
   Result<std::vector<std::string>> result = source_.Search(query);
   if (result.ok()) {
     stage->invocations.fetch_add(1, std::memory_order_relaxed);
@@ -413,6 +449,24 @@ Result<std::vector<std::string>> StageScheduler::Search(
 Result<Document> StageScheduler::Fetch(StageId stage,
                                        const std::string& docid) {
   OpTimer timer(*this, stage);
+  if (caching_ != nullptr) {
+    CachingTextSource::Outcome outcome;
+    Result<Document> result = caching_->FetchWithOutcome(docid, &outcome);
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    switch (outcome) {
+      case CachingTextSource::Outcome::kMiss:
+        if (result.ok()) stage->long_docs.fetch_add(1, kRelaxed);
+        stage->cache_misses.fetch_add(1, kRelaxed);
+        break;
+      case CachingTextSource::Outcome::kHit:
+        stage->cache_hits.fetch_add(1, kRelaxed);
+        break;
+      case CachingTextSource::Outcome::kCoalesced:
+        stage->cache_coalesced.fetch_add(1, kRelaxed);
+        break;
+    }
+    return result;
+  }
   Result<Document> result = source_.Fetch(docid);
   if (result.ok()) {
     stage->long_docs.fetch_add(1, std::memory_order_relaxed);
@@ -432,6 +486,10 @@ void StageScheduler::AddStageCounts(StageId stage, uint64_t invocations,
   stage->invocations.fetch_add(invocations, std::memory_order_relaxed);
   stage->short_docs.fetch_add(short_docs, std::memory_order_relaxed);
   stage->long_docs.fetch_add(long_docs, std::memory_order_relaxed);
+}
+
+void StageScheduler::NoteCacheHit(StageId stage) {
+  stage->cache_hits.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status StageScheduler::HandleSourceFailure(Status status,
@@ -462,6 +520,10 @@ PipelineProfile StageScheduler::Profile(
     stats.long_docs = id->long_docs.load(std::memory_order_relaxed);
     stats.relational_matches =
         id->relational_matches.load(std::memory_order_relaxed);
+    stats.cache_hits = id->cache_hits.load(std::memory_order_relaxed);
+    stats.cache_misses = id->cache_misses.load(std::memory_order_relaxed);
+    stats.cache_coalesced =
+        id->cache_coalesced.load(std::memory_order_relaxed);
     profile.stages.push_back(std::move(stats));
   }
   return profile;

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "connector/resilience.h"
+#include "connector/text_cache.h"
 #include "connector/text_source.h"
 #include "core/join_methods.h"
 #include "text/query.h"
@@ -98,8 +99,15 @@ struct StageStats {
   uint64_t short_docs = 0;       ///< Short-form results it received.
   uint64_t long_docs = 0;        ///< Long-form documents it fetched.
   uint64_t relational_matches = 0;  ///< Documents it string-matched.
+  // Cross-query cache traffic of the stage's operations (text_cache.h).
+  // Hits/coalesced operations charge no invocations/docs above — the stage
+  // profile mirrors exactly what the source meter saw.
+  uint64_t cache_hits = 0;       ///< Served from the cross-query cache.
+  uint64_t cache_misses = 0;     ///< Went upstream (and seeded the cache).
+  uint64_t cache_coalesced = 0;  ///< Served by another op's in-flight call.
 
   /// "SearchDispatch(per-batch): units=4 wall=20.1ms inv=4 short=37".
+  /// Cache counters render only when nonzero (cache-off output unchanged).
   std::string ToString() const;
 };
 
@@ -276,6 +284,17 @@ class StageScheduler {
   void AddStageCounts(StageId stage, uint64_t invocations,
                       uint64_t short_docs, uint64_t long_docs);
 
+  /// Charges one cross-query cache hit to `stage`'s profile, for upstream
+  /// operations a method skipped OUTSIDE Search/Fetch (the probing methods
+  /// skipping a probe because the session cache already knows its
+  /// outcome). Search/Fetch account their own hits.
+  void NoteCacheHit(StageId stage);
+
+  /// The caching decorator when the source chain is fronted by one (the
+  /// FederationService layering), else null. Probing methods use it for
+  /// session-scope probe outcomes.
+  CachingTextSource* caching() const { return caching_; }
+
   /// Decides the fate of a failed source operation under the policy:
   /// returns OK (failure absorbed, recorded in the degradation sink) when
   /// the policy may continue without this operation, the failure status
@@ -306,6 +325,7 @@ class StageScheduler {
 
   ThreadPool* pool_;
   TextSource& source_;
+  CachingTextSource* caching_;  ///< Front of the chain when caching is on.
   FaultPolicy policy_;
   std::shared_ptr<State> state_;  ///< Shared with enqueued pool jobs.
 };

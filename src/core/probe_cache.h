@@ -1,6 +1,7 @@
 #ifndef TEXTJOIN_CORE_PROBE_CACHE_H_
 #define TEXTJOIN_CORE_PROBE_CACHE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -45,12 +46,19 @@ class ProbeCache {
     stripe.entries[key] = success;
   }
 
+  /// A consistent entry count: all stripe locks are held simultaneously
+  /// (acquired in index order — the only place locks nest, so the global
+  /// order is trivially acyclic) while summing. Locking stripes one at a
+  /// time instead would let an insert land in an already-counted stripe
+  /// while a later stripe is being read, returning a total that was never
+  /// the cache's size at any instant.
   size_t size() const {
-    size_t total = 0;
-    for (const Stripe& stripe : stripes_) {
-      std::lock_guard<std::mutex> lock(stripe.mu);
-      total += stripe.entries.size();
+    std::array<std::unique_lock<std::mutex>, kStripes> locks;
+    for (size_t i = 0; i < kStripes; ++i) {
+      locks[i] = std::unique_lock<std::mutex>(stripes_[i].mu);
     }
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) total += stripe.entries.size();
     return total;
   }
   uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }

@@ -90,14 +90,39 @@ Result<ForeignJoinResult> RunPTS(MethodContext& ctx) {
   std::vector<std::vector<size_t>> slots_per_group(groups.size());
   std::vector<std::vector<std::string>> docids_per_group(groups.size());
   sched.Spawn(sd_search, 0, [&]() -> Status {
+    // The per-query probe cache of Section 3.3, seeded from the session
+    // store (text_cache.h) when one is attached: outcomes learned by
+    // EARLIER queries skip full searches / probe sends here, and outcomes
+    // discovered here are recorded for later queries. With no session
+    // store (or a cold one) the behavior is bit-for-bit the original.
     ProbeCache cache;
+    CachingTextSource* session = sched.caching();
     for (size_t g = 0; g < groups.size(); ++g) {
       const std::vector<std::string>& probe_terms = probe_keys[g];
       const Row probe_key = TermsToRow(probe_terms);
       --remaining_sharers[probe_terms];
 
-      const std::optional<bool> cached = cache.Lookup(probe_key);
-      if (cached.has_value() && !*cached) continue;  // Known fail-query.
+      std::optional<bool> cached = cache.Lookup(probe_key);
+      TextQueryPtr probe;
+      CachingTextSource::ProbeTicket session_ticket;
+      bool session_known = false;
+      if (session != nullptr && !cached.has_value()) {
+        probe = BuildSearch(rspec, probe_terms, mask);
+        session_ticket = session->BeginProbe(*probe);
+        if (session_ticket.cached.has_value()) {
+          cached = session_ticket.cached;
+          session_known = true;
+          cache.Insert(probe_key, *cached);
+        }
+      }
+      if (cached.has_value() && !*cached) {  // Known fail-query.
+        if (session_known) {
+          // The session store saved the full search for this combination.
+          session->NoteProbeHit();
+          sched.NoteCacheHit(sd_search);
+        }
+        continue;
+      }
 
       // Full tuple-substitution search for this combination.
       Result<std::vector<std::string>> searched =
@@ -113,6 +138,9 @@ Result<ForeignJoinResult> RunPTS(MethodContext& ctx) {
         // A successful full query implies the probe would succeed;
         // remember it without spending an invocation.
         cache.Insert(probe_key, true);
+        if (session != nullptr && !session_known && probe != nullptr) {
+          session->RecordProbe(*probe, session_ticket.epoch, true);
+        }
         group_hit[g] = 1;
         docids_per_group[g] = *std::move(searched);
         if (spec.need_document_fields) {
@@ -128,7 +156,7 @@ Result<ForeignJoinResult> RunPTS(MethodContext& ctx) {
       // skipped — but only if some combination still shares this probe key
       // and the outcome is not already cached.
       if (!cached.has_value() && remaining_sharers[probe_terms] > 0) {
-        TextQueryPtr probe = BuildSearch(rspec, probe_terms, mask);
+        if (probe == nullptr) probe = BuildSearch(rspec, probe_terms, mask);
         Result<std::vector<std::string>> probe_docs =
             sched.Search(sd_probe, *probe);
         if (!probe_docs.ok()) {
@@ -139,6 +167,16 @@ Result<ForeignJoinResult> RunPTS(MethodContext& ctx) {
           continue;
         }
         cache.Insert(probe_key, !probe_docs->empty());
+        if (session != nullptr) {
+          session->RecordProbe(*probe, session_ticket.epoch,
+                               !probe_docs->empty());
+        }
+      } else if (session_known && *cached &&
+                 remaining_sharers[probe_terms] > 0) {
+        // Without the session store a probe would have been sent here
+        // (outcome unknown, sharers remain): a second saved invocation.
+        session->NoteProbeHit();
+        sched.NoteCacheHit(sd_probe);
       }
     }
     return Status::OK();
@@ -220,12 +258,30 @@ Result<ForeignJoinResult> RunPRTP(MethodContext& ctx) {
   std::unordered_map<std::string, size_t> docid_slot;
   for (size_t g = 0; g < groups.size(); ++g) {
     sched.Spawn(sd_search, g, [&, g]() -> Status {
+      // Session store (text_cache.h): a probe known to have failed in an
+      // earlier query matches no documents, so the whole group drops
+      // without a search. (A known-success outcome does not help — the
+      // docids are still needed, and those come from the search cache.)
+      CachingTextSource* session = sched.caching();
+      CachingTextSource::ProbeTicket session_ticket;
+      if (session != nullptr) {
+        session_ticket = session->BeginProbe(*probes[g]);
+        if (session_ticket.cached.has_value() && !*session_ticket.cached) {
+          session->NoteProbeHit();
+          sched.NoteCacheHit(sd_search);
+          return Status::OK();
+        }
+      }
       Result<std::vector<std::string>> searched =
           sched.Search(sd_search, *probes[g]);
       if (!searched.ok()) {
         // Best-effort: the group's rows are missing from the answer.
         return sched.HandleSourceFailure(searched.status(),
                                          /*affects_completeness=*/true);
+      }
+      if (session != nullptr && !session_ticket.cached.has_value()) {
+        session->RecordProbe(*probes[g], session_ticket.epoch,
+                             !searched->empty());
       }
       docids_per_group[g] = *std::move(searched);
       std::lock_guard<std::mutex> lock(mu);
@@ -308,6 +364,19 @@ Result<std::vector<Row>> ProbeSemiJoinReduce(
   std::vector<char> matched(groups.size(), 0);
   for (size_t g = 0; g < groups.size(); ++g) {
     scheduler->Spawn(sd_probe, g, [&, g, scheduler]() -> Status {
+      // The reducer needs only the one-bit outcome, so BOTH session-known
+      // outcomes (matched / failed) replace the probe invocation.
+      CachingTextSource* session = scheduler->caching();
+      CachingTextSource::ProbeTicket session_ticket;
+      if (session != nullptr) {
+        session_ticket = session->BeginProbe(*probes[g]);
+        if (session_ticket.cached.has_value()) {
+          session->NoteProbeHit();
+          scheduler->NoteCacheHit(sd_probe);
+          matched[g] = *session_ticket.cached ? 1 : 0;
+          return Status::OK();
+        }
+      }
       Result<std::vector<std::string>> docids =
           scheduler->Search(sd_probe, *probes[g]);
       if (!docids.ok()) {
@@ -318,6 +387,10 @@ Result<std::vector<Row>> ProbeSemiJoinReduce(
             docids.status(), /*affects_completeness=*/false));
         matched[g] = 1;
         return Status::OK();
+      }
+      if (session != nullptr) {
+        session->RecordProbe(*probes[g], session_ticket.epoch,
+                             !docids->empty());
       }
       matched[g] = docids->empty() ? 0 : 1;
       return Status::OK();

@@ -73,9 +73,13 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
   // A private source per call isolates its meter: the outcome's delta is
   // exact even when other Run()s execute concurrently on other threads.
   // Execution sees the source through the optional decorator stack:
-  //   meter -> [chaos/test decorator] -> [resilient wrapper] -> executor.
+  //   meter -> [chaos/test decorator] -> [resilient wrapper] ->
+  //   [cross-query cache] -> executor.
   // Retries re-issue through the meter, so their traffic is charged; the
-  // breaker is the service-wide one, shared across calls.
+  // breaker is the service-wide one, shared across calls. The cache goes
+  // outermost so a hit skips retries, the breaker and the meter entirely,
+  // and a coalesced miss's single upstream call carries the leader's
+  // retries for every waiter.
   RemoteTextSource call_source(engine_);
   TextSource* exec_source = &call_source;
   std::unique_ptr<TextSource> decorated;
@@ -90,6 +94,19 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
     resilient = std::make_unique<ResilientTextSource>(
         exec_source, options_.resilience, breaker_.get());
     exec_source = resilient.get();
+  }
+  std::unique_ptr<CachingTextSource> caching;
+  if (cache_ != nullptr) {
+    // Corpus-change watch: a different document count than last observed
+    // means cached results may be stale — drop everything. (Changes that
+    // keep the count need an explicit InvalidateCache().)
+    const size_t corpus = engine_->num_documents();
+    const size_t previous = last_corpus_size_.exchange(corpus);
+    if (previous != static_cast<size_t>(-1) && previous != corpus) {
+      cache_->AdvanceEpoch();
+    }
+    caching = std::make_unique<CachingTextSource>(exec_source, cache_);
+    exec_source = caching.get();
   }
   ExecutorOptions exec_options;
   exec_options.parallelism = options_.parallelism;
@@ -108,6 +125,7 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
         breaker_ != nullptr ? breaker_->times_opened() - opens_before
                             : stats.breaker_opens;
   }
+  if (caching != nullptr) outcome.cache = caching->activity();
   outcome.meter_delta = call_source.meter();
   outcome.chosen_plan = plan->ToString(query);
   outcome.plan = std::move(plan);

@@ -1,6 +1,7 @@
 #ifndef TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 #define TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "connector/remote_text_source.h"
 #include "connector/resilience.h"
+#include "connector/text_cache.h"
 #include "core/enumerator.h"
 #include "core/executor.h"
 #include "core/statistics.h"
@@ -53,6 +55,12 @@ struct QueryOutcome {
   /// non-fail-fast failure mode skipped. `degradation.complete` is the
   /// headline — when true, `rows` is exactly the fault-free answer.
   DegradationReport degradation;
+
+  /// This query's cross-query cache traffic (all zero when caching is off
+  /// or the cache was cold for every operation). `meter_delta` counts
+  /// upstream calls actually made; the operations the cache absorbed are
+  /// here, reported separately.
+  CacheActivity cache;
 };
 
 /// A federation of one relational catalog and one external text source.
@@ -100,6 +108,25 @@ class FederationService {
     /// Run() call.
     std::function<std::unique_ptr<TextSource>(TextSource*)>
         execution_source_decorator;
+
+    /// Cross-query caching (connector/text_cache.h): search results,
+    /// long-form documents, and session-scope probe outcomes, LRU under
+    /// `cache.byte_budget` with cost-model admission and in-flight
+    /// coalescing. The cache layer goes OUTERMOST — above resilience —
+    /// so hits bypass retries, the breaker and the meter; meter_delta
+    /// keeps counting upstream calls actually made, and the absorbed
+    /// operations appear in QueryOutcome::cache. The service watches the
+    /// corpus document count and advances the cache epoch (dropping every
+    /// entry) when it changes; call InvalidateCache() for corpus changes
+    /// that keep the count.
+    bool enable_cache = false;
+    CacheOptions cache;
+
+    /// A cache to share with other services/sessions (the multi-session
+    /// setting: one cache, many federations over the same corpus). When
+    /// set, it wins over `enable_cache`/`cache` (which would build a
+    /// private one).
+    std::shared_ptr<TextCache> shared_cache;
   };
 
   /// All pointers must outlive the service.
@@ -116,6 +143,11 @@ class FederationService {
     if (options_.enable_resilience && options_.resilience.enable_breaker) {
       breaker_ = std::make_unique<CircuitBreaker>(options_.resilience.breaker,
                                                   options_.resilience.clock);
+    }
+    if (options_.shared_cache != nullptr) {
+      cache_ = options_.shared_cache;
+    } else if (options_.enable_cache) {
+      cache_ = std::make_shared<TextCache>(options_.cache);
     }
   }
 
@@ -157,6 +189,17 @@ class FederationService {
   /// source; null unless resilience (with breaker) is enabled.
   CircuitBreaker* breaker() const { return breaker_.get(); }
 
+  /// The cross-query cache this service consults (shared or private);
+  /// null when caching is off. Stats() aggregates every session using it.
+  TextCache* cache() const { return cache_.get(); }
+
+  /// Drops every cache entry and advances the epoch — for corpus changes
+  /// the automatic document-count watch cannot see (in-place edits).
+  /// No-op when caching is off.
+  void InvalidateCache() {
+    if (cache_ != nullptr) cache_->AdvanceEpoch();
+  }
+
   /// The statistics cache (exposed for inspection/preloading). Not
   /// synchronized — do not touch while Run() is in flight elsewhere.
   StatsRegistry& stats() { return registry_; }
@@ -193,6 +236,13 @@ class FederationService {
   /// One breaker for the remote, shared across per-query resilient
   /// sources (thread-safe). Null when resilience is off.
   std::unique_ptr<CircuitBreaker> breaker_;
+
+  /// The cross-query cache (private or shared per Options). Null when off.
+  std::shared_ptr<TextCache> cache_;
+
+  /// Corpus-change watch: the document count observed by the last Run().
+  /// SIZE_MAX until first observed (no spurious invalidation on startup).
+  std::atomic<size_t> last_corpus_size_{static_cast<size_t>(-1)};
 };
 
 }  // namespace textjoin

@@ -1,5 +1,6 @@
 #include "text/query.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "common/check.h"
@@ -102,6 +103,58 @@ std::string TextQuery::ToString() const {
       for (size_t i = 0; i < children_.size(); ++i) {
         if (i != 0) out += sep;
         out += children_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Flattens same-kind And/Or nesting into one child list: and(a, and(b, c))
+/// contributes a, b, c. Not/Near/Term children are kept whole.
+void FlattenSameKind(const TextQuery& node, TextQuery::Kind kind,
+                     std::vector<std::string>* keys) {
+  for (const TextQueryPtr& child : node.children()) {
+    if (child->kind() == kind) {
+      FlattenSameKind(*child, kind, keys);
+    } else {
+      keys->push_back(child->CanonicalKey());
+    }
+  }
+}
+
+}  // namespace
+
+std::string TextQuery::CanonicalKey() const {
+  switch (kind_) {
+    case Kind::kTerm:
+      // \x1f (unit separator) cannot appear in parsed input, so the three
+      // components never collide across different field/term splits.
+      return std::string("t\x1f") + field_ + "\x1f" + term_ + "\x1f" +
+             (term_kind_ == TermKind::kPrefix ? "p" : "w");
+    case Kind::kNot:
+      return "!(" + children_[0]->CanonicalKey() + ")";
+    case Kind::kNear:
+      // Near is positional: left/right order is semantically meaningful
+      // for rendering even though matching is symmetric; keep the paper's
+      // conservative reading and do not commute.
+      return "n" + std::to_string(near_distance_) + "(" +
+             children_[0]->CanonicalKey() + "," +
+             children_[1]->CanonicalKey() + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> keys;
+      FlattenSameKind(*this, kind_, &keys);
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      if (keys.size() == 1) return keys[0];  // and(a, a) == a
+      std::string out = kind_ == Kind::kAnd ? "&(" : "|(";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i != 0) out += ",";
+        out += keys[i];
       }
       out += ")";
       return out;

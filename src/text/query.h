@@ -67,6 +67,14 @@ class TextQuery {
   /// (author='gravano' or author='kao')".
   std::string ToString() const;
 
+  /// Renders a canonical cache key: two queries that differ only in the
+  /// ordering or duplication of conjuncts/disjuncts (including nested
+  /// same-kind nesting, e.g. and(a, and(b, c)) vs and(a, b, c)) render to
+  /// the same key. Distinct semantics always render to distinct keys; the
+  /// encoding separates field/term with an unprintable byte so no quoting
+  /// ambiguity exists. Used by the cross-query cache (connector/text_cache).
+  std::string CanonicalKey() const;
+
  private:
   TextQuery() = default;
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <set>
 #include <string>
 
@@ -15,6 +16,7 @@
 #include "core/executor.h"
 #include "core/join_methods.h"
 #include "core/statistics.h"
+#include "tests/test_util.h"
 #include "workload/scenario.h"
 
 namespace textjoin {
@@ -387,6 +389,49 @@ TEST_P(OptimizedPlanTest, ChosenPlanMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(RandomScenarios, OptimizedPlanTest,
                          ::testing::Range<uint64_t>(1, 16));
+
+// ----------------------------------------------------------------------
+// Canonical cache keys (text/query.h CanonicalKey, used by the
+// cross-query cache): for random Boolean queries, every semantics-
+// preserving rewrite — reordering, duplication and same-kind re-nesting
+// of conjuncts/disjuncts — maps to the SAME key, and a minimal semantic
+// mutation maps to a DIFFERENT key.
+
+class CanonicalKeyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalKeyPropertyTest, KeyInvariantUnderSemanticPreservingRewrites) {
+  std::mt19937_64 rng(GetParam() * 2654435761u + 17);
+  for (int round = 0; round < 20; ++round) {
+    const TextQueryPtr query = textjoin::testing::RandomTextQuery(rng);
+    const std::string key = query->CanonicalKey();
+    for (int rewrite = 0; rewrite < 4; ++rewrite) {
+      const TextQueryPtr scrambled =
+          textjoin::testing::ScrambleTextQuery(*query, rng);
+      EXPECT_EQ(scrambled->CanonicalKey(), key)
+          << "original: " << query->ToString()
+          << "\nscrambled: " << scrambled->ToString();
+    }
+    // Clone is trivially key-preserving.
+    EXPECT_EQ(query->Clone()->CanonicalKey(), key);
+  }
+}
+
+TEST_P(CanonicalKeyPropertyTest, KeyChangesUnderSemanticMutation) {
+  std::mt19937_64 rng(GetParam() * 40503u + 5);
+  for (int round = 0; round < 20; ++round) {
+    const TextQueryPtr query = textjoin::testing::RandomTextQuery(rng);
+    bool done = false;
+    const TextQueryPtr mutated =
+        textjoin::testing::MutateFirstTerm(*query, &done);
+    ASSERT_TRUE(done) << "every generated query contains a term";
+    EXPECT_NE(mutated->CanonicalKey(), query->CanonicalKey())
+        << "original: " << query->ToString()
+        << "\nmutated: " << mutated->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalKeyPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
 
 }  // namespace
 }  // namespace textjoin

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "relational/table.h"
 #include "text/document.h"
 #include "text/engine.h"
+#include "text/query.h"
 
 /// \file
 /// Shared fixtures: a tiny bibliographic corpus and a student relation
@@ -93,6 +95,117 @@ inline TextRelationDecl MercuryDecl() {
   decl.alias = "mercury";
   decl.fields = {"title", "author", "year"};
   return decl;
+}
+
+// ------------------------------------------------------------- Query fuzz
+//
+// Deterministic Boolean-query generators for the canonical-key property
+// tests (text/query.h CanonicalKey, connector/text_cache.h): the same rng
+// state always yields the same query.
+
+/// A random Boolean query of bounded depth over a small vocabulary.
+inline TextQueryPtr RandomTextQuery(std::mt19937_64& rng, int depth = 3) {
+  static const char* const kFields[] = {"title", "author", "year"};
+  static const char* const kWords[] = {"belief", "update",    "retrieval",
+                                       "smith",  "kao",       "garcia",
+                                       "text",   "filtering"};
+  const uint64_t shape = rng() % 10;
+  if (depth <= 0 || shape < 4) {
+    const TermKind kind =
+        (rng() % 4 == 0) ? TermKind::kPrefix : TermKind::kWordOrPhrase;
+    return TextQuery::Term(kFields[rng() % 3], kWords[rng() % 8], kind);
+  }
+  if (shape < 6 || shape == 9) {
+    const bool conj = shape < 6;
+    std::vector<TextQueryPtr> children;
+    const size_t n = 2 + rng() % 3;
+    children.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      children.push_back(RandomTextQuery(rng, depth - 1));
+    }
+    return conj ? TextQuery::And(std::move(children))
+                : TextQuery::Or(std::move(children));
+  }
+  if (shape < 8) return TextQuery::Not(RandomTextQuery(rng, depth - 1));
+  // Proximity: children must be term nodes.
+  return TextQuery::Near(TextQuery::Term(kFields[rng() % 3], kWords[rng() % 8]),
+                         TextQuery::Term(kFields[rng() % 3], kWords[rng() % 8]),
+                         static_cast<uint32_t>(1 + rng() % 9));
+}
+
+/// A semantics-preserving rewrite of `query`: shuffles conjunct/disjunct
+/// order, duplicates children, and re-nests same-kind nodes (and(a, b, c)
+/// <-> and(a, and(b, c))). CanonicalKey() must be invariant under it.
+inline TextQueryPtr ScrambleTextQuery(const TextQuery& query,
+                                      std::mt19937_64& rng) {
+  switch (query.kind()) {
+    case TextQuery::Kind::kTerm:
+    case TextQuery::Kind::kNear:
+      return query.Clone();
+    case TextQuery::Kind::kNot:
+      return TextQuery::Not(ScrambleTextQuery(*query.children()[0], rng));
+    case TextQuery::Kind::kAnd:
+    case TextQuery::Kind::kOr: {
+      std::vector<TextQueryPtr> children;
+      children.reserve(query.children().size() + 1);
+      for (const TextQueryPtr& child : query.children()) {
+        children.push_back(ScrambleTextQuery(*child, rng));
+      }
+      if (rng() % 2 == 0) {  // Duplicate one child (idempotent under and/or).
+        const size_t pick = rng() % query.children().size();
+        children.push_back(ScrambleTextQuery(*query.children()[pick], rng));
+      }
+      std::shuffle(children.begin(), children.end(), rng);
+      const bool conj = query.kind() == TextQuery::Kind::kAnd;
+      if (children.size() >= 3 && rng() % 2 == 0) {
+        // Re-nest the last two into a same-kind subnode.
+        std::vector<TextQueryPtr> nested;
+        nested.push_back(std::move(children[children.size() - 2]));
+        nested.push_back(std::move(children[children.size() - 1]));
+        children.pop_back();
+        children.pop_back();
+        children.push_back(conj ? TextQuery::And(std::move(nested))
+                                : TextQuery::Or(std::move(nested)));
+      }
+      return conj ? TextQuery::And(std::move(children))
+                  : TextQuery::Or(std::move(children));
+    }
+  }
+  return query.Clone();
+}
+
+/// A clone of `query` with the first term's text replaced — a minimal
+/// semantic change, which must change the canonical key. `*done` tracks
+/// whether the replacement happened yet.
+inline TextQueryPtr MutateFirstTerm(const TextQuery& query, bool* done) {
+  switch (query.kind()) {
+    case TextQuery::Kind::kTerm:
+      if (!*done) {
+        *done = true;
+        return TextQuery::Term(query.field(), "zzzmutant", query.term_kind());
+      }
+      return query.Clone();
+    case TextQuery::Kind::kNot:
+      return TextQuery::Not(MutateFirstTerm(*query.children()[0], done));
+    case TextQuery::Kind::kNear: {
+      TextQueryPtr left = MutateFirstTerm(*query.children()[0], done);
+      TextQueryPtr right = MutateFirstTerm(*query.children()[1], done);
+      return TextQuery::Near(std::move(left), std::move(right),
+                             query.near_distance());
+    }
+    case TextQuery::Kind::kAnd:
+    case TextQuery::Kind::kOr: {
+      std::vector<TextQueryPtr> children;
+      children.reserve(query.children().size());
+      for (const TextQueryPtr& child : query.children()) {
+        children.push_back(MutateFirstTerm(*child, done));
+      }
+      return query.kind() == TextQuery::Kind::kAnd
+                 ? TextQuery::And(std::move(children))
+                 : TextQuery::Or(std::move(children));
+    }
+  }
+  return query.Clone();
 }
 
 /// Canonical comparable form of a foreign-join result: the set of
