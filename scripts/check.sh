@@ -4,16 +4,18 @@
 # under each sanitizer. Run from anywhere; builds land in
 # <repo>/build-check-*.
 #
-#   scripts/check.sh            # Release + address + thread + coverage
+#   scripts/check.sh            # Release + address + thread + undefined
+#                               # + coverage
 #   scripts/check.sh release    # just the strict Release leg
 #   scripts/check.sh thread     # just the TSan leg (parallel/chaos paths)
+#   scripts/check.sh undefined  # just the UBSan leg (overload/admission math)
 #   scripts/check.sh coverage   # gcov leg + line-coverage floor
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 legs=("${@:-release}")
 if [ "$#" -eq 0 ]; then
-  legs=(release address thread coverage)
+  legs=(release address thread undefined coverage)
 fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
@@ -35,7 +37,7 @@ for leg in "${legs[@]}"; do
       cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
         -DTEXTJOIN_SANITIZE= -DTEXTJOIN_WERROR=ON
       ;;
-    address | thread)
+    address | thread | undefined)
       build="$repo/build-check-$leg"
       cmake -B "$build" -S "$repo" -DTEXTJOIN_SANITIZE="$leg"
       ;;
@@ -44,7 +46,8 @@ for leg in "${legs[@]}"; do
       cmake -B "$build" -S "$repo" -DTEXTJOIN_SANITIZE= -DTEXTJOIN_COVERAGE=ON
       ;;
     *)
-      echo "unknown leg '$leg' (want: release, address, thread, coverage)" >&2
+      echo "unknown leg '$leg' (want: release, address, thread, undefined," \
+        "coverage)" >&2
       exit 2
       ;;
   esac

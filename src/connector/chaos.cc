@@ -18,6 +18,7 @@ uint64_t Mix64(uint64_t x) {
 constexpr uint64_t kFailSalt = 0x1;
 constexpr uint64_t kSpikeSalt = 0x2;
 constexpr uint64_t kTruncateSalt = 0x3;
+constexpr uint64_t kSlowSalt = 0x4;
 
 /// Deterministic FNV-1a over the content string (std::hash is
 /// implementation-defined; fault sets must not depend on the toolchain).
@@ -46,15 +47,33 @@ bool ChaosTextSource::ShouldFail(uint64_t ordinal, uint64_t key,
   return rate > 0.0 && Draw(key, kFailSalt) < rate;
 }
 
+void ChaosTextSource::Delay(std::chrono::microseconds delay) const {
+  if (delay.count() <= 0) return;
+  if (options_.latency_sink) {
+    options_.latency_sink(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
 void ChaosTextSource::MaybeSpike(uint64_t key) const {
   if (options_.latency_spike_rate <= 0.0 ||
       Draw(key, kSpikeSalt) >= options_.latency_spike_rate) {
     return;
   }
   latency_spikes_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.latency_spike.count() > 0) {
-    std::this_thread::sleep_for(options_.latency_spike);
+  Delay(options_.latency_spike);
+}
+
+void ChaosTextSource::InjectLatency(uint64_t key,
+                                    std::chrono::microseconds base) const {
+  std::chrono::microseconds delay = base;
+  if (options_.slow_rate > 0.0 &&
+      Draw(key, kSlowSalt) < options_.slow_rate) {
+    slow_calls_.fetch_add(1, std::memory_order_relaxed);
+    delay = options_.slow_latency;
   }
+  Delay(delay);
 }
 
 Result<std::vector<std::string>> ChaosTextSource::Search(
@@ -63,6 +82,7 @@ Result<std::vector<std::string>> ChaosTextSource::Search(
   const uint64_t key =
       options_.content_keyed ? HashContent(query.ToString()) : ordinal;
   MaybeSpike(key);
+  InjectLatency(key, options_.search_latency);
   if (ShouldFail(ordinal, key, options_.search_failure_rate)) {
     search_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status(options_.failure_code, "chaos: injected search failure");
@@ -87,6 +107,7 @@ Result<Document> ChaosTextSource::Fetch(const std::string& docid) const {
                            ? HashContent(docid) ^ 0x5bd1e995ULL
                            : ordinal;
   MaybeSpike(key);
+  InjectLatency(key, options_.fetch_latency);
   if (ShouldFail(ordinal, key, options_.fetch_failure_rate)) {
     fetch_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status(options_.failure_code, "chaos: injected fetch failure");
@@ -99,6 +120,7 @@ ChaosStats ChaosTextSource::stats() const {
   stats.search_failures = search_failures_.load(std::memory_order_relaxed);
   stats.fetch_failures = fetch_failures_.load(std::memory_order_relaxed);
   stats.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  stats.slow_calls = slow_calls_.load(std::memory_order_relaxed);
   stats.truncated_searches = truncated_.load(std::memory_order_relaxed);
   stats.operations = ops_.load(std::memory_order_relaxed);
   return stats;

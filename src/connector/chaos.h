@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,20 @@ struct ChaosOptions {
   double latency_spike_rate = 0.0;
   std::chrono::microseconds latency_spike{0};
 
+  /// Seeded per-op latency injection (exercises hedging and the adaptive
+  /// limiter): every search / fetch takes its base latency, except that a
+  /// `slow_rate` fraction — drawn deterministically like the faults above,
+  /// and content-keyed under `content_keyed` — takes `slow_latency`
+  /// instead (a heavy-tailed slow-call distribution). Latency is delivered
+  /// through `latency_sink` when set (tests advance a fake clock there —
+  /// no wall-clock sleeps), otherwise slept for real; `latency_spike`
+  /// above goes through the same sink.
+  std::chrono::microseconds search_latency{0};
+  std::chrono::microseconds fetch_latency{0};
+  double slow_rate = 0.0;
+  std::chrono::microseconds slow_latency{0};
+  std::function<void(std::chrono::microseconds)> latency_sink;
+
   /// Probability that a *successful* search loses the tail half of its
   /// result set (a truncated response the client cannot distinguish from a
   /// small result — the nastiest failure mode).
@@ -66,6 +81,7 @@ struct ChaosStats {
   uint64_t search_failures = 0;
   uint64_t fetch_failures = 0;
   uint64_t latency_spikes = 0;
+  uint64_t slow_calls = 0;  ///< Operations that drew `slow_latency`.
   uint64_t truncated_searches = 0;
   uint64_t operations = 0;  ///< Total Search+Fetch calls observed.
 };
@@ -92,12 +108,18 @@ class ChaosTextSource final : public TextSourceDecorator {
   /// Decides failure; `ordinal` drives the period, `key` drives the rate.
   bool ShouldFail(uint64_t ordinal, uint64_t key, double rate) const;
   void MaybeSpike(uint64_t key) const;
+  /// Injects the per-op base latency (or the slow-call latency when the
+  /// seeded draw selects this operation).
+  void InjectLatency(uint64_t key, std::chrono::microseconds base) const;
+  /// Delivers a delay through the sink or a real sleep.
+  void Delay(std::chrono::microseconds delay) const;
 
   ChaosOptions options_;
   mutable std::atomic<uint64_t> ops_{0};
   mutable std::atomic<uint64_t> search_failures_{0};
   mutable std::atomic<uint64_t> fetch_failures_{0};
   mutable std::atomic<uint64_t> latency_spikes_{0};
+  mutable std::atomic<uint64_t> slow_calls_{0};
   mutable std::atomic<uint64_t> truncated_{0};
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/backoff.h"
+#include "connector/overload.h"
 
 namespace textjoin {
 
@@ -37,14 +38,16 @@ std::string DegradationReport::ToString() const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 " retries=%llu deadline=%llu opens=%llu rejected=%llu "
-                "resplits=%llu skipped_batches=%llu skipped_ops=%llu",
+                "resplits=%llu skipped_batches=%llu skipped_ops=%llu "
+                "shed=%llu",
                 static_cast<unsigned long long>(retries),
                 static_cast<unsigned long long>(deadline_hits),
                 static_cast<unsigned long long>(breaker_opens),
                 static_cast<unsigned long long>(breaker_rejections),
                 static_cast<unsigned long long>(batch_resplits),
                 static_cast<unsigned long long>(skipped_batches),
-                static_cast<unsigned long long>(skipped_operations));
+                static_cast<unsigned long long>(skipped_operations),
+                static_cast<unsigned long long>(shed_operations));
   out += buf;
   return out;
 }
@@ -190,6 +193,19 @@ Result<T> ResilientTextSource::WithRetries(std::chrono::microseconds deadline,
   // first time pay nothing for it.
   std::optional<DecorrelatedJitterBackoff> backoff;
   const int max_attempts = std::max(1, retry.max_attempts);
+  // The deadline is a budget for the WHOLE operation — attempts AND the
+  // backoff sleeps between them. Measured on the injectable clock so tests
+  // drive the budget deterministically.
+  const bool timed = deadline.count() > 0;
+  const auto now = [this] {
+    return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+  };
+  const auto op_started =
+      timed ? now() : std::chrono::steady_clock::time_point{};
+  // Hedge duplicates are shadow traffic for one logical operation whose
+  // primary is still being accounted — recording their outcomes too would
+  // double-trip (or wrongly heal) the breaker.
+  const bool charge_breaker = breaker_ != nullptr && !InHedgeAttempt();
   for (int attempt = 1;; ++attempt) {
     if (breaker_ != nullptr && !breaker_->Allow()) {
       breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
@@ -198,15 +214,13 @@ Result<T> ResilientTextSource::WithRetries(std::chrono::microseconds deadline,
     }
     // The clock reads are skipped on the no-deadline path: the healthy
     // fast path costs one atomic increment plus one breaker check per op.
-    const bool timed = deadline.count() > 0;
-    const auto started = timed ? std::chrono::steady_clock::now()
-                               : std::chrono::steady_clock::time_point{};
+    const auto started = timed ? now() : std::chrono::steady_clock::time_point{};
     Result<T> result = op();
     Status status = result.ok() ? Status::OK() : result.status();
     if (status.ok() && timed) {
       const auto elapsed =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - started);
+          std::chrono::duration_cast<std::chrono::microseconds>(now() -
+                                                                started);
       if (elapsed > deadline) {
         // Too late to be useful; the charge for the traffic stands.
         deadline_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +231,7 @@ Result<T> ResilientTextSource::WithRetries(std::chrono::microseconds deadline,
       }
     }
     if (status.ok()) {
-      if (breaker_ != nullptr) breaker_->RecordSuccess();
+      if (charge_breaker) breaker_->RecordSuccess();
       return result;
     }
     if (!IsTransientError(status.code())) {
@@ -225,12 +239,27 @@ Result<T> ResilientTextSource::WithRetries(std::chrono::microseconds deadline,
       // nothing about server health, so the breaker is not charged.
       return status;
     }
-    if (breaker_ != nullptr) breaker_->RecordFailure();
+    if (charge_breaker) breaker_->RecordFailure();
     if (attempt >= max_attempts) {
       exhausted_.fetch_add(1, std::memory_order_relaxed);
       return Status(status.code(),
                     status.message() + " (after " +
                         std::to_string(attempt) + " attempts)");
+    }
+    std::chrono::microseconds remaining = deadline;
+    if (timed) {
+      const auto spent = std::chrono::duration_cast<std::chrono::microseconds>(
+          now() - op_started);
+      remaining = deadline - spent;
+      if (remaining.count() <= 0) {
+        // The budget is gone: retrying could only return another
+        // too-late answer, and sleeping first would make it later still.
+        exhausted_.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded(
+            std::string(what) + " deadline budget (" +
+            std::to_string(deadline.count()) + "us) exhausted after " +
+            std::to_string(attempt) + " attempts");
+      }
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
     if (!backoff.has_value()) {
@@ -240,7 +269,9 @@ Result<T> ResilientTextSource::WithRetries(std::chrono::microseconds deadline,
                       retry.backoff_multiplier,
                       retry.jitter_seed ^ (ordinal * 0x9e3779b9));
     }
-    Sleep(backoff->NextDelay());
+    const std::chrono::microseconds delay = backoff->NextDelay();
+    // Never sleep past the remaining budget.
+    Sleep(timed ? std::min(delay, remaining) : delay);
   }
 }
 

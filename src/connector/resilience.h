@@ -68,6 +68,7 @@ struct DegradationReport {
   uint64_t batch_resplits = 0;      ///< SJ OR-batches split after failure.
   uint64_t skipped_batches = 0;     ///< Semi-join disjuncts dropped.
   uint64_t skipped_operations = 0;  ///< Searches/fetches dropped.
+  uint64_t shed_operations = 0;     ///< Ops shed past the query deadline.
   bool complete = true;             ///< Rows equal the fault-free answer.
 
   /// True when anything at all deviated from a clean run.
@@ -75,7 +76,7 @@ struct DegradationReport {
     return !complete || retries != 0 || deadline_hits != 0 ||
            breaker_opens != 0 || breaker_rejections != 0 ||
            batch_resplits != 0 || skipped_batches != 0 ||
-           skipped_operations != 0;
+           skipped_operations != 0 || shed_operations != 0;
   }
 
   DegradationReport& operator+=(const DegradationReport& other) {
@@ -86,6 +87,7 @@ struct DegradationReport {
     batch_resplits += other.batch_resplits;
     skipped_batches += other.skipped_batches;
     skipped_operations += other.skipped_operations;
+    shed_operations += other.shed_operations;
     complete = complete && other.complete;
     return *this;
   }
@@ -108,6 +110,9 @@ class AtomicDegradation {
   void RecordResplit() {
     batch_resplits_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordShedOperation() {
+    shed_operations_.fetch_add(1, std::memory_order_relaxed);
+  }
   void MarkIncomplete() {
     incomplete_.store(true, std::memory_order_relaxed);
   }
@@ -118,6 +123,7 @@ class AtomicDegradation {
     report.skipped_batches = skipped_batches_.load(std::memory_order_relaxed);
     report.skipped_operations =
         skipped_operations_.load(std::memory_order_relaxed);
+    report.shed_operations = shed_operations_.load(std::memory_order_relaxed);
     report.complete = !incomplete_.load(std::memory_order_relaxed);
     return report;
   }
@@ -126,6 +132,7 @@ class AtomicDegradation {
   std::atomic<uint64_t> batch_resplits_{0};
   std::atomic<uint64_t> skipped_batches_{0};
   std::atomic<uint64_t> skipped_operations_{0};
+  std::atomic<uint64_t> shed_operations_{0};
   std::atomic<bool> incomplete_{false};
 };
 
@@ -155,6 +162,13 @@ struct FaultPolicy {
   }
   void NoteResplit() const {
     if (degradation != nullptr) degradation->RecordResplit();
+  }
+  /// Records one operation shed past the query deadline. A shed always
+  /// costs answer rows, so the report goes incomplete.
+  void NoteShedOperation() const {
+    if (degradation == nullptr) return;
+    degradation->RecordShedOperation();
+    degradation->MarkIncomplete();
   }
 };
 

@@ -1,0 +1,127 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+namespace textjoin {
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release();
+    controller_ = std::exchange(other.controller_, nullptr);
+    wait_seconds_ = other.wait_seconds_;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (controller_ != nullptr) controller_->Release();
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {}
+
+AdmissionController::TimePoint AdmissionController::Now() const {
+  return options_.clock ? options_.clock()
+                        : std::chrono::steady_clock::now();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Poke() { cv_.notify_all(); }
+
+Result<AdmissionTicket> AdmissionController::Admit(double est_cost_seconds,
+                                                   TimePoint deadline,
+                                                   int priority) {
+  const TimePoint arrived = Now();
+  const int max_concurrent = std::max(1, options_.max_concurrent);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Evaluated on arrival AND at every wakeup while queued: deadlines keep
+  // expiring in the queue, and shedding there is exactly the point — a
+  // query that cannot finish in time must not reach an execution slot.
+  const auto shed_check = [&]() -> Status {
+    if (deadline == TimePoint::max()) return Status::OK();
+    const TimePoint now = Now();
+    if (now > deadline) {
+      return Status::DeadlineExceeded("admission: query deadline passed");
+    }
+    if (options_.cost_scale > 0.0 && est_cost_seconds > 0.0) {
+      const auto predicted =
+          now + std::chrono::duration_cast<TimePoint::duration>(
+                    std::chrono::duration<double>(est_cost_seconds *
+                                                  options_.cost_scale));
+      if (predicted > deadline) {
+        return Status::DeadlineExceeded(
+            "admission: remaining deadline cannot cover estimated cost");
+      }
+    }
+    return Status::OK();
+  };
+  if (Status shed = shed_check(); !shed.ok()) {
+    ++shed_deadline_;
+    return shed;
+  }
+  if (running_ < max_concurrent && waiting_.empty()) {
+    ++running_;
+    ++admitted_;
+    max_running_ = std::max<uint64_t>(max_running_, running_);
+    return AdmissionTicket(this, 0.0);
+  }
+  if (waiting_.size() >= options_.max_queue) {
+    ++shed_queue_full_;
+    return Status::Unavailable("admission queue full; query shed");
+  }
+  const Waiter me{-priority, next_seq_++};
+  waiting_.insert(me);
+  ++waits_;
+  max_queue_depth_ = std::max<uint64_t>(max_queue_depth_, waiting_.size());
+  for (;;) {
+    // With an injected clock, timed waits are meaningless (the virtual
+    // clock cannot fire them) — sheds are evaluated when a slot frees or
+    // the test Poke()s. On the real clock, a deadline wakes itself.
+    if (!options_.clock && deadline != TimePoint::max()) {
+      cv_.wait_until(lock, deadline);
+    } else {
+      cv_.wait(lock);
+    }
+    if (Status shed = shed_check(); !shed.ok()) {
+      waiting_.erase(me);
+      ++shed_deadline_;
+      // The head may have changed; let the next waiter re-evaluate.
+      cv_.notify_all();
+      return shed;
+    }
+    if (running_ < max_concurrent && *waiting_.begin() == me) {
+      waiting_.erase(me);
+      ++running_;
+      ++admitted_;
+      max_running_ = std::max<uint64_t>(max_running_, running_);
+      const double waited =
+          std::chrono::duration<double>(Now() - arrived).count();
+      total_wait_seconds_ += waited;
+      // More slots may be free — the NEW head must wake to take one.
+      cv_.notify_all();
+      return AdmissionTicket(this, waited);
+    }
+  }
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats stats;
+  stats.admitted = admitted_;
+  stats.shed_queue_full = shed_queue_full_;
+  stats.shed_deadline = shed_deadline_;
+  stats.waits = waits_;
+  stats.max_queue_depth = max_queue_depth_;
+  stats.max_running = max_running_;
+  stats.total_wait_seconds = total_wait_seconds_;
+  return stats;
+}
+
+}  // namespace textjoin

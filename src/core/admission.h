@@ -1,0 +1,136 @@
+#ifndef TEXTJOIN_CORE_ADMISSION_H_
+#define TEXTJOIN_CORE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/status.h"
+#include "connector/overload.h"
+
+/// \file
+/// Query admission control (DESIGN.md, "Overload, admission control &
+/// hedging"). Under offered load beyond what the execution slots can
+/// carry, unbounded queueing collapses every query's latency together;
+/// this controller keeps the queue bounded and sheds early the queries
+/// that cannot make their deadline anyway:
+///
+///  - a fixed number of execution slots; excess queries QUEUE (bounded)
+///    ordered by (priority desc, arrival order);
+///  - a query whose queue is full is shed immediately (kUnavailable — the
+///    honest "try later", cheaper for everyone than queueing to fail);
+///  - a query whose remaining deadline cannot cover its estimated cost
+///    (the optimizer's CostModel estimate, scaled to predicted wall time)
+///    is shed with kDeadlineExceeded — before it wastes a slot producing
+///    an answer nobody is waiting for. Re-checked while queued: deadlines
+///    keep expiring in the queue.
+
+namespace textjoin {
+
+struct AdmissionOptions {
+  /// Queries running concurrently; further admits queue.
+  int max_concurrent = 4;
+  /// Queued queries beyond which new arrivals are shed with kUnavailable.
+  size_t max_queue = 64;
+  /// Predicted wall seconds per simulated cost second (the CostModel's
+  /// unit), used to shed queries whose remaining deadline cannot cover
+  /// their estimated cost. 0 disables cost-based shedding (queries are
+  /// still shed once their deadline has actually passed).
+  double cost_scale = 0.0;
+  /// Test hook. With a clock injected the controller never arms timed
+  /// waits (a virtual clock cannot wake a blocked thread); queued sheds
+  /// are evaluated whenever a slot frees or Poke() is called.
+  SteadyClockFn clock;
+};
+
+/// Lifetime counters plus high-water marks (value snapshot).
+struct AdmissionStats {
+  uint64_t admitted = 0;         ///< Queries granted a slot.
+  uint64_t shed_queue_full = 0;  ///< Arrivals shed on a full queue.
+  uint64_t shed_deadline = 0;    ///< Shed on deadline / cost grounds.
+  uint64_t waits = 0;            ///< Admits that had to queue first.
+  uint64_t max_queue_depth = 0;  ///< Deepest the queue ever got.
+  uint64_t max_running = 0;      ///< Most slots ever in use at once.
+  double total_wait_seconds = 0.0;  ///< Summed admission queueing time.
+};
+
+class AdmissionController;
+
+/// Move-only slot holder; releasing (destruction) frees the slot and wakes
+/// the queue head.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(std::exchange(other.controller_, nullptr)),
+        wait_seconds_(other.wait_seconds_) {}
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  ~AdmissionTicket();
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  /// How long this query queued before admission.
+  double wait_seconds() const { return wait_seconds_; }
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, double wait_seconds)
+      : controller_(controller), wait_seconds_(wait_seconds) {}
+
+  AdmissionController* controller_ = nullptr;
+  double wait_seconds_ = 0.0;
+};
+
+/// The service-wide admission queue. Thread-safe; one per
+/// FederationService, like the breaker / limiter / hedge controller.
+class AdmissionController {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Blocks until a slot is granted (honoring priority, then arrival
+  /// order), or sheds: kUnavailable when the queue is full on arrival,
+  /// kDeadlineExceeded when `deadline` has passed or — with cost_scale set
+  /// — the remaining deadline cannot cover `est_cost_seconds` (simulated
+  /// CostModel seconds). `deadline` TimePoint::max() means none.
+  Result<AdmissionTicket> Admit(double est_cost_seconds, TimePoint deadline,
+                                int priority);
+
+  /// Wakes queued waiters so they re-evaluate their deadline — for tests
+  /// driving a fake clock (real-clock waiters wake themselves).
+  void Poke();
+
+  TimePoint Now() const;
+  AdmissionStats stats() const;
+
+ private:
+  friend class AdmissionTicket;
+  void Release();
+
+  /// (-priority, arrival seq): set order is the admission order.
+  using Waiter = std::pair<int, uint64_t>;
+
+  const AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;
+  std::set<Waiter> waiting_;
+  uint64_t next_seq_ = 0;
+
+  uint64_t admitted_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_deadline_ = 0;
+  uint64_t waits_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  uint64_t max_running_ = 0;
+  double total_wait_seconds_ = 0.0;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_CORE_ADMISSION_H_

@@ -342,9 +342,17 @@ Result<ExecutionResult> PlanExecutor::Execute(const PlanNode& root,
   // join register their stages on it, so a multi-join PrL plan executes as
   // one composed DAG sharing the pool, policy, and failure selection.
   std::optional<pipeline::StageScheduler> sched;
-  if (source_ != nullptr) sched.emplace(pool_, *source_, policy);
+  if (source_ != nullptr) {
+    sched.emplace(pool_, *source_, policy);
+    if (options_.deadline != std::chrono::steady_clock::time_point::max()) {
+      sched->SetDeadline(options_.deadline, options_.clock);
+    }
+  }
   Result<ExecutionResult> executed =
       Exec(root, query, profile, policy, sched ? &*sched : nullptr);
+  if (profile != nullptr && sched) {
+    profile->overload.shed_operations = sched->shed_operations();
+  }
   if (degradation != nullptr) *degradation = sink.Snapshot();
   TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result, std::move(executed));
   if (!query.aggregates.empty()) {
@@ -557,6 +565,11 @@ std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
                            const CostParams& params) {
   std::string out;
   RenderAnalyze(root, query, profile, params, 0, out);
+  // Query-global overload account, rendered only when the layer did
+  // anything (overload-off output stays byte-identical to before).
+  if (!profile.overload.empty()) {
+    out += "| overload " + profile.overload.ToString() + "\n";
+  }
   return out;
 }
 

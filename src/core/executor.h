@@ -39,6 +39,11 @@ struct NodeProfile {
 /// Profile of one execution, keyed by plan node.
 struct ExecutionProfile {
   std::map<const PlanNode*, NodeProfile> nodes;
+  /// What the overload layer did during this execution (hedge races,
+  /// limiter queueing, deadline sheds, admission wait). All-zero — and the
+  /// `| overload` EXPLAIN ANALYZE line absent — when the layer is off or
+  /// idle, so overload-off output is byte-identical to before.
+  OverloadActivity overload;
 };
 
 /// Renders the plan with estimated AND actual rows / costs per node.
@@ -59,9 +64,23 @@ std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
 /// operation fails even after the source's own resilience layer (if any)
 /// gave up — see FailureMode in connector/resilience.h. The default
 /// fail-fast reproduces the historical behavior.
+/// `deadline` arms deadline-aware load shedding (see
+/// StageScheduler::SetDeadline): once it passes, remaining text-source
+/// operations are shed instead of issued — under best-effort the query
+/// finishes with the rows it has (`complete == false`, sheds counted in
+/// the DegradationReport), under fail-fast it aborts with
+/// DeadlineExceeded. The default (time_point::max) never sheds. `clock` is
+/// the shedding clock (null = steady_clock; injectable for tests).
+/// `priority` is carried for the service's admission queue — higher runs
+/// first when queries queue for an execution slot; the executor itself
+/// does not reorder anything.
 struct ExecutorOptions {
   int parallelism = 1;
   FailureMode failure_mode = FailureMode::kFailFast;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  int priority = 0;
+  SteadyClockFn clock;
 };
 
 /// Walks a plan tree bottom-up, running scans/filters/joins with the

@@ -331,6 +331,31 @@ StageScheduler::StageId StageScheduler::AddStage(const StageDesc& desc) {
   return counters;
 }
 
+void StageScheduler::SetDeadline(std::chrono::steady_clock::time_point deadline,
+                                 SteadyClockFn clock) {
+  has_deadline_ = true;
+  deadline_ = deadline;
+  deadline_clock_ = std::move(clock);
+}
+
+Status StageScheduler::CheckDeadline(StageId stage) {
+  if (!has_deadline_) return Status::OK();
+  const auto now = deadline_clock_ ? deadline_clock_()
+                                   : std::chrono::steady_clock::now();
+  if (now <= deadline_) return Status::OK();
+  // Shed: the deadline has passed, so this operation's answer can no
+  // longer be useful — don't spend source traffic on it. The shed marks
+  // the result incomplete; the method's HandleSourceFailure then decides
+  // (via the DeadlineExceeded status) whether the query aborts (fail-fast)
+  // or finishes with the rows it has (best-effort, which also counts the
+  // unit among skipped_operations — shed says WHY it was dropped).
+  shed_operations_.fetch_add(1, std::memory_order_relaxed);
+  policy_.NoteShedOperation();
+  return Status::DeadlineExceeded(
+      std::string("query deadline exceeded; ") +
+      StageKindName(stage->desc.kind) + " operation shed");
+}
+
 void StageScheduler::Spawn(StageId stage, uint64_t ordinal,
                            std::function<Status()> fn) {
   {
@@ -411,6 +436,7 @@ Status StageScheduler::Wait() {
 
 Result<std::vector<std::string>> StageScheduler::Search(
     StageId stage, const TextQuery& query) {
+  if (Status shed = CheckDeadline(stage); !shed.ok()) return shed;
   OpTimer timer(*this, stage);
   if (caching_ != nullptr) {
     CachingTextSource::Outcome outcome;
@@ -448,6 +474,7 @@ Result<std::vector<std::string>> StageScheduler::Search(
 
 Result<Document> StageScheduler::Fetch(StageId stage,
                                        const std::string& docid) {
+  if (Status shed = CheckDeadline(stage); !shed.ok()) return shed;
   OpTimer timer(*this, stage);
   if (caching_ != nullptr) {
     CachingTextSource::Outcome outcome;

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "connector/overload.h"
 #include "connector/resilience.h"
 #include "connector/text_cache.h"
 #include "connector/text_source.h"
@@ -252,6 +253,22 @@ class StageScheduler {
   /// Registers a stage. Call from the driving thread (not from units).
   StageId AddStage(const StageDesc& desc);
 
+  /// Arms deadline-aware load shedding: once `deadline` passes (on `clock`;
+  /// null = steady_clock), every subsequent Search/Fetch is SHED — it
+  /// returns DeadlineExceeded without touching the source, and is recorded
+  /// in the policy's degradation sink as a shed operation (which always
+  /// marks the result incomplete; under best-effort the query still
+  /// finishes with the rows it has, under fail-fast it aborts). Call from
+  /// the driving thread before spawning units (publication rides the spawn
+  /// queue's mutex).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline,
+                   SteadyClockFn clock = nullptr);
+
+  /// Operations shed because the query deadline had passed.
+  uint64_t shed_operations() const {
+    return shed_operations_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues one unit of `stage`. `ordinal` orders the unit within its
   /// stage for deterministic failure selection; units of one stage should
   /// use distinct ordinals. Safe to call from inside a running unit.
@@ -323,11 +340,20 @@ class StageScheduler {
   static bool DrainOne(State& state);
   static void ExecuteTask(State& state, Task task);
 
+  /// OK, or the shed status when the armed deadline has passed.
+  Status CheckDeadline(StageId stage);
+
   ThreadPool* pool_;
   TextSource& source_;
   CachingTextSource* caching_;  ///< Front of the chain when caching is on.
   FaultPolicy policy_;
   std::shared_ptr<State> state_;  ///< Shared with enqueued pool jobs.
+
+  // Deadline shedding; written once before units spawn, read by units.
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  SteadyClockFn deadline_clock_;
+  mutable std::atomic<uint64_t> shed_operations_{0};
 };
 
 /// RAII timer around one source round-trip issued on behalf of `stage`:

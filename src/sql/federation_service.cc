@@ -67,19 +67,53 @@ Result<PlanNodePtr> FederationService::Plan(const FederatedQuery& query) {
 }
 
 Result<QueryOutcome> FederationService::Run(const std::string& sql) {
+  return Run(sql, RunOptions{});
+}
+
+Result<QueryOutcome> FederationService::Run(const std::string& sql,
+                                            const RunOptions& run) {
   TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, options_.text));
   TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
+
+  // Query deadline: per-call override, else the service default, else
+  // none. Computed and checked on the admission clock everywhere (the one
+  // injectable query-deadline clock).
+  const std::chrono::microseconds budget =
+      run.deadline.value_or(options_.default_deadline);
+  const auto deadline_clock = options_.admission.clock;
+  const auto now = [&deadline_clock] {
+    return deadline_clock ? deadline_clock() : std::chrono::steady_clock::now();
+  };
+  const auto deadline_tp = budget.count() > 0
+                               ? now() + budget
+                               : std::chrono::steady_clock::time_point::max();
+  const int priority = run.priority.value_or(options_.default_priority);
+
+  // Admission: bounded queueing for an execution slot; sheds queries whose
+  // remaining deadline cannot cover the plan's estimated cost. The ticket
+  // holds the slot for the rest of this call.
+  AdmissionTicket ticket;
+  if (admission_ != nullptr) {
+    TEXTJOIN_ASSIGN_OR_RETURN(
+        ticket, admission_->Admit(plan->est_cost, deadline_tp, priority));
+  }
 
   // A private source per call isolates its meter: the outcome's delta is
   // exact even when other Run()s execute concurrently on other threads.
   // Execution sees the source through the optional decorator stack:
   //   meter -> [chaos/test decorator] -> [resilient wrapper] ->
-  //   [cross-query cache] -> executor.
+  //   [adaptive limiter] -> [hedging] -> [cross-query cache] -> executor.
   // Retries re-issue through the meter, so their traffic is charged; the
-  // breaker is the service-wide one, shared across calls. The cache goes
-  // outermost so a hit skips retries, the breaker and the meter entirely,
-  // and a coalesced miss's single upstream call carries the leader's
-  // retries for every waiter.
+  // breaker is the service-wide one, shared across calls. The limiter sits
+  // above resilience (a permit is held across an operation's retries) and
+  // inside hedging (duplicates take their own permit; the hedging layer
+  // suppresses duplicates when the limiter has no spare capacity). The
+  // cache goes outermost so a hit skips hedging, retries, the breaker and
+  // the meter entirely; only a coalescing leader's upstream call may
+  // hedge, and a coalesced miss's single upstream call carries the
+  // leader's retries for every waiter. Declaration order matters: reverse
+  // destruction tears the chain down outside-in, and ~HedgedTextSource
+  // waits out straggling hedge losers before the layers they call die.
   RemoteTextSource call_source(engine_);
   TextSource* exec_source = &call_source;
   std::unique_ptr<TextSource> decorated;
@@ -94,6 +128,17 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
     resilient = std::make_unique<ResilientTextSource>(
         exec_source, options_.resilience, breaker_.get());
     exec_source = resilient.get();
+  }
+  std::unique_ptr<LimitedTextSource> limited;
+  if (limiter_ != nullptr) {
+    limited = std::make_unique<LimitedTextSource>(exec_source, limiter_.get());
+    exec_source = limited.get();
+  }
+  std::unique_ptr<HedgedTextSource> hedged;
+  if (hedge_ != nullptr) {
+    hedged = std::make_unique<HedgedTextSource>(exec_source, hedge_.get(),
+                                                limiter_.get());
+    exec_source = hedged.get();
   }
   std::unique_ptr<CachingTextSource> caching;
   if (cache_ != nullptr) {
@@ -111,6 +156,9 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
   ExecutorOptions exec_options;
   exec_options.parallelism = options_.parallelism;
   exec_options.failure_mode = options_.failure_mode;
+  exec_options.deadline = deadline_tp;
+  exec_options.priority = priority;
+  exec_options.clock = deadline_clock;
   PlanExecutor executor(catalog_, exec_source, exec_options, pool_.get());
   QueryOutcome outcome;
   TEXTJOIN_ASSIGN_OR_RETURN(
@@ -126,6 +174,24 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
                             : stats.breaker_opens;
   }
   if (caching != nullptr) outcome.cache = caching->activity();
+  // The overload account: per-query decorator activity plus the shared
+  // controllers' current state. Goes into the profile too, so
+  // ExplainAnalyze renders its `| overload` line.
+  if (limited != nullptr) {
+    outcome.overload.limiter_waits = limited->activity().waits;
+  }
+  if (limiter_ != nullptr) outcome.overload.limit = limiter_->limit();
+  if (hedged != nullptr) {
+    hedged->Quiesce();  // Straggling losers still charge the waste meter.
+    const HedgeActivity activity = hedged->activity();
+    outcome.overload.hedges = activity.hedges;
+    outcome.overload.hedge_wins = activity.hedge_wins;
+    outcome.overload.hedges_suppressed = activity.suppressed;
+    outcome.overload.hedge_waste = activity.waste;
+  }
+  outcome.overload.shed_operations = outcome.degradation.shed_operations;
+  outcome.overload.admission_wait_seconds = ticket.wait_seconds();
+  outcome.profile.overload = outcome.overload;
   outcome.meter_delta = call_source.meter();
   outcome.chosen_plan = plan->ToString(query);
   outcome.plan = std::move(plan);

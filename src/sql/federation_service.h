@@ -2,17 +2,21 @@
 #define TEXTJOIN_SQL_FEDERATION_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "connector/overload.h"
 #include "connector/remote_text_source.h"
 #include "connector/resilience.h"
 #include "connector/text_cache.h"
+#include "core/admission.h"
 #include "core/enumerator.h"
 #include "core/executor.h"
 #include "core/statistics.h"
@@ -61,6 +65,12 @@ struct QueryOutcome {
   /// upstream calls actually made; the operations the cache absorbed are
   /// here, reported separately.
   CacheActivity cache;
+
+  /// What the overload layer did for this query: hedge races and their
+  /// diverted waste charges (NOT in meter_delta — losers never charge the
+  /// main meter), limiter queueing, deadline-shed operations, and the
+  /// admission wait. All zero when the layer is off or idle.
+  OverloadActivity overload;
 };
 
 /// A federation of one relational catalog and one external text source.
@@ -127,6 +137,51 @@ class FederationService {
     /// set, it wins over `enable_cache`/`cache` (which would build a
     /// private one).
     std::shared_ptr<TextCache> shared_cache;
+
+    // --- Overload protection (connector/overload.h, core/admission.h).
+    // The per-query decorator chain becomes, outermost first:
+    //   cache -> hedging -> limiter -> resilience -> [chaos] -> meter.
+    // Interplay: cache hits/coalesced waiters never reach the hedging
+    // layer (only a coalescing LEADER's upstream call may hedge); a hedge
+    // duplicate charges the per-query waste meter instead of the main
+    // meter and never records breaker outcomes, so meter totals and
+    // breaker behavior stay byte-identical to unhedged execution; the
+    // limiter sits INSIDE hedging so duplicates take a permit too, and the
+    // hedging layer consults it to suppress duplicates when there is no
+    // spare capacity.
+
+    /// Shared AIMD concurrency limiter over the remote: operations beyond
+    /// the learned limit queue at the connector boundary (stage-scheduler
+    /// units block instead of piling onto a struggling source).
+    bool enable_adaptive_limit = false;
+    AdaptiveLimiterOptions adaptive_limit;
+
+    /// Tail-latency hedging for Search/Fetch (idempotent reads only —
+    /// which is all a TextSource has).
+    bool enable_hedging = false;
+    HedgeOptions hedging;
+
+    /// Service admission queue: bounded queueing for an execution slot,
+    /// priority-ordered, shedding queries whose remaining deadline cannot
+    /// cover their estimated cost (the plan's CostModel estimate).
+    bool enable_admission = false;
+    AdmissionOptions admission;
+
+    /// Default per-query deadline (0 = none) and priority, overridable per
+    /// Run() call via RunOptions. The deadline bounds the whole query:
+    /// admission sheds it when it cannot be met, and execution sheds the
+    /// remaining source operations once it passes. `admission.clock` is
+    /// THE query-deadline clock (deadlines are computed and checked on it
+    /// everywhere, including executor-level shedding) — inject it there
+    /// for deterministic deadline tests.
+    std::chrono::microseconds default_deadline{0};
+    int default_priority = 0;
+  };
+
+  /// Per-call overrides of the service-wide defaults.
+  struct RunOptions {
+    std::optional<std::chrono::microseconds> deadline;
+    std::optional<int> priority;
   };
 
   /// All pointers must outlive the service.
@@ -149,6 +204,15 @@ class FederationService {
     } else if (options_.enable_cache) {
       cache_ = std::make_shared<TextCache>(options_.cache);
     }
+    if (options_.enable_adaptive_limit) {
+      limiter_ = std::make_unique<AdaptiveLimiter>(options_.adaptive_limit);
+    }
+    if (options_.enable_hedging) {
+      hedge_ = std::make_unique<HedgeController>(options_.hedging);
+    }
+    if (options_.enable_admission) {
+      admission_ = std::make_unique<AdmissionController>(options_.admission);
+    }
   }
 
   /// Transitional constructors predating Options::text; prefer passing the
@@ -169,6 +233,12 @@ class FederationService {
   /// first use and cached across queries.
   Result<QueryOutcome> Run(const std::string& sql);
 
+  /// Run() with per-call deadline/priority overrides. A query shed by
+  /// admission control returns an error outcome: kUnavailable when the
+  /// admission queue was full, kDeadlineExceeded when its deadline had
+  /// passed (or could not cover the plan's estimated cost).
+  Result<QueryOutcome> Run(const std::string& sql, const RunOptions& run);
+
   /// Deprecated shim over Run() for callers that only want rows; new code
   /// should call Run() and use the outcome's per-call meter_delta instead
   /// of diffing the cumulative meter().
@@ -188,6 +258,12 @@ class FederationService {
   /// The service-wide circuit breaker shared by every query's resilient
   /// source; null unless resilience (with breaker) is enabled.
   CircuitBreaker* breaker() const { return breaker_.get(); }
+
+  /// The service-wide overload controllers; null when the respective
+  /// feature is off.
+  AdaptiveLimiter* limiter() const { return limiter_.get(); }
+  HedgeController* hedge() const { return hedge_.get(); }
+  AdmissionController* admission() const { return admission_.get(); }
 
   /// The cross-query cache this service consults (shared or private);
   /// null when caching is off. Stats() aggregates every session using it.
@@ -236,6 +312,12 @@ class FederationService {
   /// One breaker for the remote, shared across per-query resilient
   /// sources (thread-safe). Null when resilience is off.
   std::unique_ptr<CircuitBreaker> breaker_;
+
+  /// Service-wide overload controllers, shared across queries like the
+  /// breaker. Null when the respective feature is off.
+  std::unique_ptr<AdaptiveLimiter> limiter_;
+  std::unique_ptr<HedgeController> hedge_;
+  std::unique_ptr<AdmissionController> admission_;
 
   /// The cross-query cache (private or shared per Options). Null when off.
   std::shared_ptr<TextCache> cache_;

@@ -373,9 +373,13 @@ TEST_F(ResilientSourceTest, DeadlineDiscardsSlowAttempts) {
   auto result = resilient.Search(*query);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(resilient.stats().deadline_hits, 2u);  // Both attempts too slow.
-  // The slow attempts really happened: their traffic was charged.
-  EXPECT_EQ(remote_.meter().invocations, 2u);
+  // The first attempt blew the whole operation budget, so it is discarded
+  // AND no retry is attempted: a second attempt could only come back too
+  // late as well, and backing off first would make it later still.
+  EXPECT_EQ(resilient.stats().deadline_hits, 1u);
+  EXPECT_EQ(resilient.stats().exhausted, 1u);
+  // The slow attempt really happened: its traffic was charged.
+  EXPECT_EQ(remote_.meter().invocations, 1u);
 }
 
 // ---------------------------------------------------------------------------

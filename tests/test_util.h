@@ -2,6 +2,9 @@
 #define TEXTJOIN_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <random>
 #include <set>
@@ -9,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "connector/overload.h"
 #include "core/federated_query.h"
 #include "core/join_methods.h"
 #include "relational/table.h"
@@ -21,6 +25,43 @@
 /// mirroring the paper's running examples.
 
 namespace textjoin::testing {
+
+/// A thread-safe virtual steady clock for deadline/latency tests: reads
+/// and advances are atomic, so any number of threads may observe time
+/// while others inject it. Adapters produce the hooks the overload /
+/// resilience layers accept, letting tests run entirely without
+/// wall-clock sleeps:
+///
+///   FakeClock fake;
+///   options.clock = fake.clock();        // SteadyClockFn-shaped hooks
+///   chaos.latency_sink = fake.sink();    // injected latency advances time
+///   resilience.sleeper = fake.sink();    // backoff "sleeps" advance time
+class FakeClock {
+ public:
+  std::chrono::steady_clock::time_point Now() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(offset_ns_.load(std::memory_order_acquire)));
+  }
+
+  void Advance(std::chrono::nanoseconds d) {
+    offset_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  /// The injectable-clock adapter (AdaptiveLimiterOptions::clock,
+  /// HedgeOptions::clock, AdmissionOptions::clock, ResilienceOptions::clock).
+  SteadyClockFn clock() const {
+    return [this] { return Now(); };
+  }
+
+  /// The latency adapter (ChaosOptions::latency_sink,
+  /// ResilienceOptions::sleeper): delay becomes time travel, not sleep.
+  std::function<void(std::chrono::microseconds)> sink() {
+    return [this](std::chrono::microseconds d) { Advance(d); };
+  }
+
+ private:
+  std::atomic<int64_t> offset_ns_{0};
+};
 
 /// Makes a bibliographic document with one title and a list of authors.
 inline Document MakeDoc(std::string docid, std::string title,
