@@ -337,9 +337,9 @@ bool RunLoadCurvePart() {
       options.text = built->text;
       options.execution_source_decorator = gated;
       if (shedding) {
-        options.enable_admission = true;
-        options.admission.max_concurrent = kWorkers;
-        options.admission.max_queue = 2;
+        options.admission_control.emplace();
+        options.admission_control->max_concurrent = kWorkers;
+        options.admission_control->max_queue = 2;
         options.failure_mode = FailureMode::kBestEffort;
         options.default_deadline = std::chrono::microseconds(
             static_cast<int64_t>(slo_ms * 1000.0));

@@ -55,6 +55,10 @@ for leg in "${legs[@]}"; do
   cmake --build "$build" -j "$jobs"
   echo "==> [$leg] testing"
   ctest --test-dir "$build" --output-on-failure -j "$jobs"
+  if [ "$leg" = release ]; then
+    echo "==> [release] shard scaling gate"
+    "$build/bench/bench_shard_scaling"
+  fi
   if [ "$leg" = coverage ]; then
     echo "==> [coverage] line-coverage floor"
     python3 "$repo/scripts/coverage_report.py" --build-dir "$build" \

@@ -42,6 +42,17 @@ RemoteTextSource* UnwrapRemote(TextSource* source) {
   return nullptr;
 }
 
+MeteredTextSource* UnwrapMetered(TextSource* source) {
+  while (source != nullptr) {
+    if (auto* metered = dynamic_cast<MeteredTextSource*>(source)) {
+      return metered;
+    }
+    auto* decorator = dynamic_cast<TextSourceDecorator*>(source);
+    source = decorator != nullptr ? decorator->inner() : nullptr;
+  }
+  return nullptr;
+}
+
 Result<Document> RemoteTextSource::Fetch(const std::string& docid) const {
   if (latency_.fetch.count() > 0) std::this_thread::sleep_for(latency_.fetch);
   Result<DocNum> num = engine_->FindDocid(docid);

@@ -26,6 +26,30 @@ struct SimulatedLatency {
   std::chrono::microseconds fetch{0};   ///< Slept inside each Fetch call.
 };
 
+/// A TextSource that bills every access to a redirectable AtomicAccessMeter.
+/// Two implementations exist: RemoteTextSource (one corpus behind one
+/// endpoint) and ShardedTextSource (a scatter-gather router over many
+/// endpoints, whose meter reports the aggregate *logical* cost). Profiling
+/// and relational-match charging see through decorator chains down to this
+/// interface via UnwrapMetered, so executors work with either.
+class MeteredTextSource : public TextSource {
+ public:
+  /// A value snapshot of the meter currently being charged.
+  virtual AccessMeter meter() const = 0;
+
+  /// The underlying charging sink (e.g. to Add() externally tracked costs
+  /// such as relational-side string matching).
+  virtual AtomicAccessMeter& charging_meter() const = 0;
+
+  /// Redirects charging to `meter` (e.g. to a separate statistics meter
+  /// during sampling, whose cost the paper amortizes across queries).
+  /// Passing nullptr restores the internal meter.
+  virtual void SetMeter(AtomicAccessMeter* meter) = 0;
+
+  /// Resets the internal meter (does not touch a redirected meter).
+  virtual void ResetMeter() = 0;
+};
+
 /// Wraps a SearchableCorpus (in-memory TextEngine or on-disk
 /// DiskTextEngine) as an external source and meters every access:
 /// Search charges one invocation, the postings the engine scanned, and one
@@ -41,7 +65,7 @@ struct SimulatedLatency {
 /// max_concurrency() cap, which this source forwards so executors clamp
 /// their parallelism). SetMeter/ResetMeter are configuration, not
 /// data-path calls: do not race them against in-flight searches.
-class RemoteTextSource final : public TextSource {
+class RemoteTextSource final : public MeteredTextSource {
  public:
   /// `engine` must outlive this object.
   explicit RemoteTextSource(const SearchableCorpus* engine)
@@ -56,27 +80,17 @@ class RemoteTextSource final : public TextSource {
   size_t num_documents() const override { return engine_->num_documents(); }
   int max_concurrency() const override { return engine_->max_concurrency(); }
 
-  /// A value snapshot of the meter currently being charged.
-  AccessMeter meter() const {
+  AccessMeter meter() const override {
     return active_meter_.load(std::memory_order_acquire)->Snapshot();
   }
-
-  /// The underlying charging sink (e.g. to Add() externally tracked costs
-  /// such as relational-side string matching).
-  AtomicAccessMeter& charging_meter() const {
+  AtomicAccessMeter& charging_meter() const override {
     return *active_meter_.load(std::memory_order_acquire);
   }
-
-  /// Redirects charging to `meter` (e.g. to a separate statistics meter
-  /// during sampling, whose cost the paper amortizes across queries).
-  /// Passing nullptr restores the internal meter.
-  void SetMeter(AtomicAccessMeter* meter) {
+  void SetMeter(AtomicAccessMeter* meter) override {
     active_meter_.store(meter != nullptr ? meter : &own_meter_,
                         std::memory_order_release);
   }
-
-  /// Resets the internal meter (does not touch a redirected meter).
-  void ResetMeter() { own_meter_.Reset(); }
+  void ResetMeter() override { own_meter_.Reset(); }
 
   /// Installs a wall-clock delay per operation (benchmarking aid).
   void set_simulated_latency(SimulatedLatency latency) { latency_ = latency; }
@@ -93,12 +107,17 @@ class RemoteTextSource final : public TextSource {
 /// Lets profiling and relational-match charging see through wrappers.
 RemoteTextSource* UnwrapRemote(TextSource* source);
 
-/// RAII guard that redirects a RemoteTextSource's charges for a scope and
+/// Like UnwrapRemote, but stops at ANY MeteredTextSource — a single remote
+/// or a sharded router. This is the hook executors use, so sharded
+/// topologies meter identically to a single backend.
+MeteredTextSource* UnwrapMetered(TextSource* source);
+
+/// RAII guard that redirects a MeteredTextSource's charges for a scope and
 /// flushes them into a plain AccessMeter on exit (so callers keep working
 /// with value-type meters).
 class ScopedMeter {
  public:
-  ScopedMeter(RemoteTextSource& source, AccessMeter* meter)
+  ScopedMeter(MeteredTextSource& source, AccessMeter* meter)
       : source_(source), target_(meter) {
     source_.SetMeter(&scope_meter_);
   }
@@ -110,7 +129,7 @@ class ScopedMeter {
   ScopedMeter& operator=(const ScopedMeter&) = delete;
 
  private:
-  RemoteTextSource& source_;
+  MeteredTextSource& source_;
   AccessMeter* target_;
   AtomicAccessMeter scope_meter_;
 };

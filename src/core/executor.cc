@@ -19,8 +19,8 @@ namespace {
 /// Decorator chains (resilience, chaos) are unwrapped to find the metered
 /// source, so profiling keeps working under fault-tolerant wrappers.
 AccessMeter MeterSnapshot(TextSource* source) {
-  if (RemoteTextSource* remote = UnwrapRemote(source)) {
-    return remote->meter();
+  if (MeteredTextSource* metered = UnwrapMetered(source)) {
+    return metered->meter();
   }
   return AccessMeter{};
 }
@@ -569,6 +569,11 @@ std::string ExplainAnalyze(const PlanNode& root, const FederatedQuery& query,
   // anything (overload-off output stays byte-identical to before).
   if (!profile.overload.empty()) {
     out += "| overload " + profile.overload.ToString() + "\n";
+  }
+  // Per-shard-replica physical attribution, present only for sharded
+  // topologies (single-backend output stays byte-identical).
+  for (const ShardReplicaActivity& replica : profile.shards.replicas) {
+    out += "| shard " + replica.ToString() + "\n";
   }
   return out;
 }

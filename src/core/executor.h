@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "connector/resilience.h"
+#include "connector/sharding.h"
 #include "connector/text_source.h"
 #include "core/federated_query.h"
 #include "core/pipeline.h"
@@ -44,6 +45,9 @@ struct ExecutionProfile {
   /// `| overload` EXPLAIN ANALYZE line absent — when the layer is off or
   /// idle, so overload-off output is byte-identical to before.
   OverloadActivity overload;
+  /// Per-shard-replica physical attribution (sharded topologies only;
+  /// empty — and the `| shard` lines absent — for a single backend).
+  ShardActivity shards;
 };
 
 /// Renders the plan with estimated AND actual rows / costs per node.

@@ -254,8 +254,8 @@ Status ValidateProbeMask(const ForeignJoinSpec& spec, PredicateMask mask) {
 }
 
 void ChargeRelationalMatches(TextSource& source, uint64_t docs_scanned) {
-  if (RemoteTextSource* remote = UnwrapRemote(&source)) {
-    remote->charging_meter().ChargeRelationalMatches(docs_scanned);
+  if (MeteredTextSource* metered = UnwrapMetered(&source)) {
+    metered->charging_meter().ChargeRelationalMatches(docs_scanned);
   }
 }
 

@@ -64,19 +64,35 @@ Result<const TableStats*> StatsRegistry::GetTableStats(
 
 namespace {
 
-// Exact (selectivity, fanout, postings) of `term in field` via an unmetered
-// engine search.
-Result<EngineSearchResult> OracleSearch(const TextEngine& engine,
-                                        const std::string& field,
-                                        const std::string& term) {
+// Exact (selectivity, fanout, postings) of `term in field` via unmetered
+// engine searches, summed across shards (one shard = one corpus).
+Result<EngineSearchResult> OracleSearch(
+    const std::vector<const SearchableCorpus*>& shards,
+    const std::string& field, const std::string& term) {
   TextQueryPtr q = TextQuery::Term(field, term);
-  return engine.Search(*q);
+  EngineSearchResult total;
+  for (const SearchableCorpus* shard : shards) {
+    TEXTJOIN_ASSIGN_OR_RETURN(EngineSearchResult result, shard->Search(*q));
+    total.docs.insert(total.docs.end(), result.docs.begin(),
+                      result.docs.end());
+    total.postings_processed += result.postings_processed;
+  }
+  return total;
 }
 
 }  // namespace
 
 Status ComputeExactStats(const FederatedQuery& query, const Catalog& catalog,
-                         const TextEngine& engine, StatsRegistry& registry) {
+                         const SearchableCorpus& corpus,
+                         StatsRegistry& registry) {
+  return ComputeExactStats(query, catalog,
+                           std::vector<const SearchableCorpus*>{&corpus},
+                           registry);
+}
+
+Status ComputeExactStats(const FederatedQuery& query, const Catalog& catalog,
+                         const std::vector<const SearchableCorpus*>& shards,
+                         StatsRegistry& registry) {
   // Relational table statistics.
   for (const RelationRef& rel : query.relations) {
     TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
@@ -86,7 +102,7 @@ Status ComputeExactStats(const FederatedQuery& query, const Catalog& catalog,
   // Text selection statistics.
   for (const TextSelection& sel : query.text_selections) {
     TEXTJOIN_ASSIGN_OR_RETURN(EngineSearchResult result,
-                              OracleSearch(engine, sel.field, sel.term));
+                              OracleSearch(shards, sel.field, sel.term));
     registry.SetTextSelectionStats(
         sel.term, sel.field, static_cast<double>(result.docs.size()),
         static_cast<double>(result.postings_processed));
@@ -118,7 +134,7 @@ Status ComputeExactStats(const FederatedQuery& query, const Catalog& catalog,
     uint64_t total_docs = 0;
     for (const std::string& term : distinct) {
       TEXTJOIN_ASSIGN_OR_RETURN(EngineSearchResult result,
-                                OracleSearch(engine, pred.field, term));
+                                OracleSearch(shards, pred.field, term));
       if (!result.docs.empty()) ++matched;
       total_docs += result.docs.size();
     }

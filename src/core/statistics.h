@@ -10,7 +10,7 @@
 #include "core/federated_query.h"
 #include "relational/catalog.h"
 #include "relational/table_stats.h"
-#include "text/engine.h"
+#include "text/searchable.h"
 
 /// \file
 /// The optimizer's statistics store (paper Section 4.2): per text-join
@@ -75,7 +75,16 @@ class StatsRegistry {
 /// optimizer; the sampling path (connector/sampler.h) provides the
 /// realistic alternative.
 Status ComputeExactStats(const FederatedQuery& query, const Catalog& catalog,
-                         const TextEngine& engine, StatsRegistry& registry);
+                         const SearchableCorpus& corpus,
+                         StatsRegistry& registry);
+
+/// The sharded-topology overload: each selection / distinct join value is
+/// probed against every shard and the counts summed (docids partition
+/// disjointly, so the sums equal the single-corpus numbers — exactly so
+/// when the shards evaluate exhaustively).
+Status ComputeExactStats(const FederatedQuery& query, const Catalog& catalog,
+                         const std::vector<const SearchableCorpus*>& shards,
+                         StatsRegistry& registry);
 
 }  // namespace textjoin
 

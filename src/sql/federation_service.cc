@@ -5,15 +5,49 @@
 
 namespace textjoin {
 
+namespace {
+
+/// Fingerprint of the per-shard document counts (FNV-1a over the counts).
+/// The corpus watch compares fingerprints instead of one total, so growth
+/// in ANY single shard bumps the cache epoch — even when offset by
+/// shrinkage elsewhere. For a single backend this degenerates to watching
+/// the one document count, as before.
+size_t CorpusFingerprint(const BackendTopology& topology) {
+  uint64_t h = 1469598103934665603ull;
+  for (const BackendTopology::Shard& shard : topology.shards) {
+    uint64_t count = shard.replicas.empty()
+                         ? 0
+                         : shard.replicas[0].corpus->num_documents();
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (count >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  // SIZE_MAX is the "not yet observed" sentinel; avoid colliding with it.
+  const size_t fp = static_cast<size_t>(h);
+  return fp == static_cast<size_t>(-1) ? 0 : fp;
+}
+
+}  // namespace
+
 Status FederationService::EnsureStatistics(const FederatedQuery& query) {
   if (options_.oracle_stats) {
     // Exact statistics computed engine-side (no metered traffic); cheap
-    // enough to recompute per query, and idempotent.
-    return ComputeExactStats(query, *catalog_, *engine_, registry_);
+    // enough to recompute per query, and idempotent. Probes go to replica
+    // 0 of every shard and the counts are summed — docids partition
+    // disjointly, so the sums equal the single-corpus numbers.
+    std::vector<const SearchableCorpus*> shards;
+    shards.reserve(backend_->num_shards());
+    for (const BackendTopology::Shard& shard : backend_->topology().shards) {
+      shards.push_back(shard.replicas[0].corpus);
+    }
+    return ComputeExactStats(query, *catalog_, shards, registry_);
   }
   // Sampling mode (paper Section 4.2): probe the source for predicates we
   // have not seen before; table stats are computed locally. All traffic
-  // goes through stats_source_, whose meter is the stats meter.
+  // goes through stats_source_ — the bare router, so sampling sees the
+  // whole sharded corpus without touching breakers or limiter permits —
+  // and its meter is the stats meter.
   for (const RelationRef& rel : query.relations) {
     if (!registry_.GetTableStats(rel.table_name).ok()) {
       TEXTJOIN_ASSIGN_OR_RETURN(Table * table,
@@ -38,7 +72,7 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
         table->schema().WithQualifier(rel->name()).Resolve(pred.column_ref));
     TEXTJOIN_ASSIGN_OR_RETURN(
         PredicateStatsEstimate est,
-        EstimatePredicateStats(*table, col, stats_source_, pred.field,
+        EstimatePredicateStats(*table, col, *stats_source_, pred.field,
                                options_.sample_size, rng_));
     registry_.SetTextJoinStats(pred.column_ref, pred.field, est.selectivity,
                                est.fanout);
@@ -48,7 +82,7 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
     // One short-form search measures the selection exactly.
     TextQueryPtr probe = TextQuery::Term(sel.field, sel.term);
     TEXTJOIN_ASSIGN_OR_RETURN(std::vector<std::string> docids,
-                              stats_source_.Search(*probe));
+                              stats_source_->Search(*probe));
     // Postings estimate: result size is a lower bound on list length; use
     // it (the cost term is tiny under c_p).
     registry_.SetTextSelectionStats(sel.term, sel.field,
@@ -61,8 +95,9 @@ Status FederationService::EnsureStatistics(const FederatedQuery& query) {
 Result<PlanNodePtr> FederationService::Plan(const FederatedQuery& query) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   TEXTJOIN_RETURN_IF_ERROR(EnsureStatistics(query));
-  Enumerator enumerator(catalog_, &registry_, engine_->num_documents(),
-                        engine_->max_search_terms(), options_.enumerator);
+  const BackendTopology& topology = backend_->topology();
+  Enumerator enumerator(catalog_, &registry_, topology.total_documents(),
+                        topology.max_search_terms(), options_.enumerator);
   return enumerator.Optimize(query);
 }
 
@@ -76,11 +111,11 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
   TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
 
   // Query deadline: per-call override, else the service default, else
-  // none. Computed and checked on the admission clock everywhere (the one
+  // none. Computed and checked on deadline_clock everywhere (the one
   // injectable query-deadline clock).
   const std::chrono::microseconds budget =
       run.deadline.value_or(options_.default_deadline);
-  const auto deadline_clock = options_.admission.clock;
+  const auto& deadline_clock = options_.deadline_clock;
   const auto now = [&deadline_clock] {
     return deadline_clock ? deadline_clock() : std::chrono::steady_clock::now();
   };
@@ -98,54 +133,30 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
         ticket, admission_->Admit(plan->est_cost, deadline_tp, priority));
   }
 
-  // A private source per call isolates its meter: the outcome's delta is
-  // exact even when other Run()s execute concurrently on other threads.
-  // Execution sees the source through the optional decorator stack:
-  //   meter -> [chaos/test decorator] -> [resilient wrapper] ->
-  //   [adaptive limiter] -> [hedging] -> [cross-query cache] -> executor.
-  // Retries re-issue through the meter, so their traffic is charged; the
-  // breaker is the service-wide one, shared across calls. The limiter sits
-  // above resilience (a permit is held across an operation's retries) and
-  // inside hedging (duplicates take their own permit; the hedging layer
-  // suppresses duplicates when the limiter has no spare capacity). The
-  // cache goes outermost so a hit skips hedging, retries, the breaker and
-  // the meter entirely; only a coalescing leader's upstream call may
-  // hedge, and a coalesced miss's single upstream call carries the
-  // leader's retries for every waiter. Declaration order matters: reverse
-  // destruction tears the chain down outside-in, and ~HedgedTextSource
+  // A private router per call isolates its logical meter: the outcome's
+  // delta is exact even when other Run()s execute concurrently. The router
+  // rebuilds the chain per replica from the ChainSpec —
+  //   meter -> [replica decorator] -> [chaos/test decorator] ->
+  //   [resilient] -> [limiter] -> mux -> [hedging] -> router
+  // — with the shared breakers/limiters/hedge controllers from backend_,
+  // and the cross-query cache goes OUTERMOST, above the router, so a hit
+  // skips scatter, hedging, retries, breakers and the meter entirely. For
+  // a single backend this chain is layer-for-layer the pre-topology one.
+  // Declaration order matters: reverse destruction tears the stack down
+  // outside-in, and each shard's ~HedgedTextSource (inside the router)
   // waits out straggling hedge losers before the layers they call die.
-  RemoteTextSource call_source(engine_);
-  TextSource* exec_source = &call_source;
-  std::unique_ptr<TextSource> decorated;
-  if (options_.execution_source_decorator) {
-    decorated = options_.execution_source_decorator(&call_source);
-    if (decorated != nullptr) exec_source = decorated.get();
-  }
-  std::unique_ptr<ResilientTextSource> resilient;
-  const uint64_t opens_before =
-      breaker_ != nullptr ? breaker_->times_opened() : 0;
-  if (options_.enable_resilience) {
-    resilient = std::make_unique<ResilientTextSource>(
-        exec_source, options_.resilience, breaker_.get());
-    exec_source = resilient.get();
-  }
-  std::unique_ptr<LimitedTextSource> limited;
-  if (limiter_ != nullptr) {
-    limited = std::make_unique<LimitedTextSource>(exec_source, limiter_.get());
-    exec_source = limited.get();
-  }
-  std::unique_ptr<HedgedTextSource> hedged;
-  if (hedge_ != nullptr) {
-    hedged = std::make_unique<HedgedTextSource>(exec_source, hedge_.get(),
-                                                limiter_.get());
-    exec_source = hedged.get();
-  }
+  const uint64_t opens_before = backend_->breaker_opens_total();
+  std::unique_ptr<ShardedTextSource> router =
+      backend_->MakeQuerySource(options_.execution_source_decorator);
+  router->set_failure_mode(options_.failure_mode);
+  TextSource* exec_source = router.get();
   std::unique_ptr<CachingTextSource> caching;
   if (cache_ != nullptr) {
-    // Corpus-change watch: a different document count than last observed
-    // means cached results may be stale — drop everything. (Changes that
-    // keep the count need an explicit InvalidateCache().)
-    const size_t corpus = engine_->num_documents();
+    // Corpus-change watch: a different per-shard document-count
+    // fingerprint than last observed means cached results may be stale —
+    // drop everything. (Changes that keep the counts need an explicit
+    // InvalidateCache().)
+    const size_t corpus = CorpusFingerprint(backend_->topology());
     const size_t previous = last_corpus_size_.exchange(corpus);
     if (previous != static_cast<size_t>(-1) && previous != corpus) {
       cache_->AdvanceEpoch();
@@ -164,26 +175,27 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
   TEXTJOIN_ASSIGN_OR_RETURN(
       outcome.rows, executor.Execute(*plan, query, &outcome.profile,
                                      &outcome.degradation));
-  if (resilient != nullptr) {
-    const ResilienceStats stats = resilient->stats();
+  if (options_.chain.resilience.has_value()) {
+    const ResilienceStats stats = router->resilience_stats();
     outcome.degradation.retries = stats.retries;
     outcome.degradation.deadline_hits = stats.deadline_hits;
     outcome.degradation.breaker_rejections = stats.breaker_rejections;
     outcome.degradation.breaker_opens =
-        breaker_ != nullptr ? breaker_->times_opened() - opens_before
-                            : stats.breaker_opens;
+        options_.chain.resilience->enable_breaker
+            ? backend_->breaker_opens_total() - opens_before
+            : stats.breaker_opens;
   }
   if (caching != nullptr) outcome.cache = caching->activity();
   // The overload account: per-query decorator activity plus the shared
   // controllers' current state. Goes into the profile too, so
   // ExplainAnalyze renders its `| overload` line.
-  if (limited != nullptr) {
-    outcome.overload.limiter_waits = limited->activity().waits;
+  if (options_.chain.limiter.has_value()) {
+    outcome.overload.limiter_waits = router->limiter_activity().waits;
+    outcome.overload.limit = backend_->limit_total();
   }
-  if (limiter_ != nullptr) outcome.overload.limit = limiter_->limit();
-  if (hedged != nullptr) {
-    hedged->Quiesce();  // Straggling losers still charge the waste meter.
-    const HedgeActivity activity = hedged->activity();
+  if (options_.chain.hedging.has_value()) {
+    router->Quiesce();  // Straggling losers still charge the waste meter.
+    const HedgeActivity activity = router->hedge_activity();
     outcome.overload.hedges = activity.hedges;
     outcome.overload.hedge_wins = activity.hedge_wins;
     outcome.overload.hedges_suppressed = activity.suppressed;
@@ -192,16 +204,21 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
   outcome.overload.shed_operations = outcome.degradation.shed_operations;
   outcome.overload.admission_wait_seconds = ticket.wait_seconds();
   outcome.profile.overload = outcome.overload;
-  outcome.meter_delta = call_source.meter();
+  if (!backend_->topology().single()) {
+    // Per-shard physical attribution — and the honest account of shard
+    // contributions a best-effort broadcast dropped.
+    outcome.shards = router->activity();
+    if (outcome.shards.dropped_shards > 0) {
+      outcome.degradation.skipped_operations += outcome.shards.dropped_shards;
+      outcome.degradation.complete = false;
+    }
+    outcome.profile.shards = outcome.shards;
+  }
+  outcome.meter_delta = router->meter();
   outcome.chosen_plan = plan->ToString(query);
   outcome.plan = std::move(plan);
   cumulative_.Add(outcome.meter_delta);
   return outcome;
-}
-
-Result<ExecutionResult> FederationService::Query(const std::string& sql) {
-  TEXTJOIN_ASSIGN_OR_RETURN(QueryOutcome outcome, Run(sql));
-  return std::move(outcome.rows);
 }
 
 Result<std::string> FederationService::Explain(const std::string& sql) {

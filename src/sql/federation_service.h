@@ -9,12 +9,14 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "connector/overload.h"
 #include "connector/remote_text_source.h"
 #include "connector/resilience.h"
+#include "connector/sharding.h"
 #include "connector/text_cache.h"
 #include "core/admission.h"
 #include "core/enumerator.h"
@@ -25,7 +27,8 @@
 /// The one-stop facade over the whole pipeline: SQL text in, rows out.
 /// Wires together the parser, statistics acquisition (sampling per paper
 /// Section 4.2, or oracle mode for experiments), the PrL enumerator, the
-/// plan executor, and the access meter.
+/// plan executor, and the access meter — over ONE text backend or a
+/// sharded, replicated topology of them (connector/sharding.h).
 
 namespace textjoin {
 
@@ -37,8 +40,10 @@ namespace textjoin {
 struct QueryOutcome {
   ExecutionResult rows;
 
-  /// Text-source charges of this execution only. Sampling charges (when
-  /// oracle_stats is false) are excluded; they live in stats_meter().
+  /// Text-source charges of this execution only — the LOGICAL charges
+  /// under a sharded topology, byte-identical to the single-backend meter
+  /// for the same rows. Sampling charges (when oracle_stats is false) are
+  /// excluded; they live in stats_meter().
   AccessMeter meter_delta;
 
   /// EXPLAIN rendering of the plan that was executed.
@@ -71,9 +76,17 @@ struct QueryOutcome {
   /// main meter), limiter queueing, deadline-shed operations, and the
   /// admission wait. All zero when the layer is off or idle.
   OverloadActivity overload;
+
+  /// Per-shard-replica PHYSICAL attribution (traffic each replica actually
+  /// served, failovers, per-replica retries), plus routing counters.
+  /// Populated only for multi-shard topologies; rendered as "| shard"
+  /// lines by ExplainAnalyze.
+  ShardActivity shards;
 };
 
-/// A federation of one relational catalog and one external text source.
+/// A federation of one relational catalog and an external text corpus —
+/// either a single engine or a BackendTopology of N shards x R replicas
+/// routed by a ShardedTextSource.
 ///
 /// Run() is safe to call from multiple threads concurrently: statistics
 /// acquisition and planning are serialized internally, and each execution
@@ -83,6 +96,38 @@ class FederationService {
   struct Options {
     /// How the engine appears as a relation (alias + fields).
     TextRelationDecl text;
+
+    /// Where the corpus lives. Empty (the default) means a single backend:
+    /// the engine passed to the constructor, as a topology of one shard,
+    /// one replica — byte-identical to the pre-topology behavior. A
+    /// multi-shard topology scatter-gathers searches and routes fetches by
+    /// docid hash (see connector/sharding.h and workload/sharded_corpus.h
+    /// for building one).
+    BackendTopology topology;
+
+    /// The per-query decorator chain, one composable spec (presence of an
+    /// optional = layer engaged): `chain.cache` is the logical, outermost
+    /// layer above the router; `chain.hedging` is per shard (duplicates
+    /// race ACROSS replicas); `chain.limiter` and `chain.resilience` (with
+    /// its nested breaker) are per replica, so one sick replica fails over
+    /// without poisoning the rest. Controllers (breakers, limiters, hedge
+    /// state) are service-wide and persist across queries.
+    ChainSpec chain;
+
+    /// Service admission queue (presence = enabled): bounded queueing for
+    /// an execution slot, priority-ordered, shedding queries whose
+    /// remaining deadline cannot cover their estimated cost. A query gate,
+    /// not a chain layer — hence not part of `chain`.
+    std::optional<AdmissionOptions> admission_control;
+
+    /// THE query-deadline clock: deadlines are computed and checked on it
+    /// everywhere (admission shedding, executor-level shedding). Null =
+    /// steady_clock. Inject for deterministic deadline tests.
+    SteadyClockFn deadline_clock;
+
+    /// Worker threads for multi-shard search scatter (the caller
+    /// participates). 0 = one per shard beyond the first.
+    int scatter_parallelism = 0;
 
     /// true: compute exact statistics engine-side (free, experiment mode).
     /// false: sample the text source per Section 4.2; sampling charges go
@@ -98,84 +143,47 @@ class FederationService {
 
     EnumeratorOptions enumerator;   ///< Plan-space knobs.
 
-    /// Wraps each query's execution source in a ResilientTextSource
-    /// (retries, deadlines, circuit breaker — see `resilience`). The
-    /// breaker is owned by the service and shared across queries, so a
-    /// struggling remote fails fast for every caller, not once per query.
-    bool enable_resilience = false;
-    ResilienceOptions resilience;
-
     /// What execution does when an operation fails even after the
     /// resilience layer gave up (see FailureMode). Fail-fast reproduces
     /// the historical behavior; best-effort returns partial results with
-    /// an honest QueryOutcome::degradation report.
+    /// an honest QueryOutcome::degradation report. Under a sharded
+    /// topology, best-effort additionally lets a broadcast search drop a
+    /// whole shard whose every replica failed transiently.
     FailureMode failure_mode = FailureMode::kFailFast;
 
-    /// Test/chaos hook: wraps the per-query execution source (after the
-    /// meter, before resilience). Used to inject faults between the
-    /// resilience layer and the engine; returning null leaves the source
-    /// unwrapped. The returned decorator lives for the duration of the
-    /// Run() call.
+    /// Test/chaos hook: wraps each REPLICA's execution source (after the
+    /// meter and the topology's own per-replica decorator, before
+    /// resilience). Returning null leaves the replica unwrapped. The
+    /// returned decorators live for the duration of the Run() call.
     std::function<std::unique_ptr<TextSource>(TextSource*)>
         execution_source_decorator;
 
-    /// Cross-query caching (connector/text_cache.h): search results,
-    /// long-form documents, and session-scope probe outcomes, LRU under
-    /// `cache.byte_budget` with cost-model admission and in-flight
-    /// coalescing. The cache layer goes OUTERMOST — above resilience —
-    /// so hits bypass retries, the breaker and the meter; meter_delta
-    /// keeps counting upstream calls actually made, and the absorbed
-    /// operations appear in QueryOutcome::cache. The service watches the
-    /// corpus document count and advances the cache epoch (dropping every
-    /// entry) when it changes; call InvalidateCache() for corpus changes
-    /// that keep the count.
-    bool enable_cache = false;
-    CacheOptions cache;
-
     /// A cache to share with other services/sessions (the multi-session
     /// setting: one cache, many federations over the same corpus). When
-    /// set, it wins over `enable_cache`/`cache` (which would build a
-    /// private one).
+    /// set, it wins over `chain.cache` (which would build a private one).
     std::shared_ptr<TextCache> shared_cache;
-
-    // --- Overload protection (connector/overload.h, core/admission.h).
-    // The per-query decorator chain becomes, outermost first:
-    //   cache -> hedging -> limiter -> resilience -> [chaos] -> meter.
-    // Interplay: cache hits/coalesced waiters never reach the hedging
-    // layer (only a coalescing LEADER's upstream call may hedge); a hedge
-    // duplicate charges the per-query waste meter instead of the main
-    // meter and never records breaker outcomes, so meter totals and
-    // breaker behavior stay byte-identical to unhedged execution; the
-    // limiter sits INSIDE hedging so duplicates take a permit too, and the
-    // hedging layer consults it to suppress duplicates when there is no
-    // spare capacity.
-
-    /// Shared AIMD concurrency limiter over the remote: operations beyond
-    /// the learned limit queue at the connector boundary (stage-scheduler
-    /// units block instead of piling onto a struggling source).
-    bool enable_adaptive_limit = false;
-    AdaptiveLimiterOptions adaptive_limit;
-
-    /// Tail-latency hedging for Search/Fetch (idempotent reads only —
-    /// which is all a TextSource has).
-    bool enable_hedging = false;
-    HedgeOptions hedging;
-
-    /// Service admission queue: bounded queueing for an execution slot,
-    /// priority-ordered, shedding queries whose remaining deadline cannot
-    /// cover their estimated cost (the plan's CostModel estimate).
-    bool enable_admission = false;
-    AdmissionOptions admission;
 
     /// Default per-query deadline (0 = none) and priority, overridable per
     /// Run() call via RunOptions. The deadline bounds the whole query:
     /// admission sheds it when it cannot be met, and execution sheds the
-    /// remaining source operations once it passes. `admission.clock` is
-    /// THE query-deadline clock (deadlines are computed and checked on it
-    /// everywhere, including executor-level shedding) — inject it there
-    /// for deterministic deadline tests.
+    /// remaining source operations once it passes (on `deadline_clock`).
     std::chrono::microseconds default_deadline{0};
     int default_priority = 0;
+
+    // --- Deprecated aliases (one release): the flat enable_X + XOptions
+    // pairs that ChainSpec replaced. Normalization folds each enabled pair
+    // into the corresponding `chain` optional (or `admission_control` /
+    // `deadline_clock`) unless the new field is already set, which wins.
+    bool enable_resilience = false;     ///< Deprecated: set chain.resilience.
+    ResilienceOptions resilience;       ///< Deprecated: set chain.resilience.
+    bool enable_cache = false;          ///< Deprecated: set chain.cache.
+    CacheOptions cache;                 ///< Deprecated: set chain.cache.
+    bool enable_adaptive_limit = false; ///< Deprecated: set chain.limiter.
+    AdaptiveLimiterOptions adaptive_limit;  ///< Deprecated: chain.limiter.
+    bool enable_hedging = false;        ///< Deprecated: set chain.hedging.
+    HedgeOptions hedging;               ///< Deprecated: set chain.hedging.
+    bool enable_admission = false;      ///< Deprecated: set admission_control.
+    AdmissionOptions admission;         ///< Deprecated: set admission_control.
   };
 
   /// Per-call overrides of the service-wide defaults.
@@ -184,46 +192,41 @@ class FederationService {
     std::optional<int> priority;
   };
 
-  /// All pointers must outlive the service.
-  FederationService(const Catalog* catalog, TextEngine* engine,
+  /// All pointers must outlive the service. `engine` may be null when
+  /// `options.topology` is set (it is ignored then); with an empty
+  /// topology it becomes the single backend.
+  FederationService(const Catalog* catalog, const SearchableCorpus* engine,
                     Options options)
       : catalog_(catalog),
-        engine_(engine),
-        options_(std::move(options)),
-        stats_source_(engine),
+        options_(Normalize(std::move(options))),
         rng_(options_.sampling_seed) {
+    TEXTJOIN_CHECK(!options_.topology.empty() || engine != nullptr,
+                   "FederationService needs an engine or a topology");
+    BackendTopology topology = options_.topology.empty()
+                                   ? BackendTopology::Single(engine)
+                                   : options_.topology;
+    ShardedBackendOptions backend_options;
+    backend_options.chain = options_.chain;
+    backend_options.scatter_parallelism = options_.scatter_parallelism;
+    backend_ = std::make_unique<ShardedBackend>(std::move(topology),
+                                                std::move(backend_options));
+    stats_source_ = backend_->MakeBareSource();
     if (options_.parallelism > 1) {
       pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
     }
-    if (options_.enable_resilience && options_.resilience.enable_breaker) {
-      breaker_ = std::make_unique<CircuitBreaker>(options_.resilience.breaker,
-                                                  options_.resilience.clock);
-    }
     if (options_.shared_cache != nullptr) {
       cache_ = options_.shared_cache;
-    } else if (options_.enable_cache) {
-      cache_ = std::make_shared<TextCache>(options_.cache);
+    } else if (options_.chain.cache.has_value()) {
+      cache_ = std::make_shared<TextCache>(*options_.chain.cache);
     }
-    if (options_.enable_adaptive_limit) {
-      limiter_ = std::make_unique<AdaptiveLimiter>(options_.adaptive_limit);
-    }
-    if (options_.enable_hedging) {
-      hedge_ = std::make_unique<HedgeController>(options_.hedging);
-    }
-    if (options_.enable_admission) {
-      admission_ = std::make_unique<AdmissionController>(options_.admission);
+    if (options_.admission_control.has_value()) {
+      AdmissionOptions admission = *options_.admission_control;
+      if (!admission.clock && options_.deadline_clock) {
+        admission.clock = options_.deadline_clock;
+      }
+      admission_ = std::make_unique<AdmissionController>(admission);
     }
   }
-
-  /// Transitional constructors predating Options::text; prefer passing the
-  /// declaration inside Options.
-  FederationService(const Catalog* catalog, TextEngine* engine,
-                    TextRelationDecl text, Options options)
-      : FederationService(catalog, engine,
-                          MergeText(std::move(options), std::move(text))) {}
-  FederationService(const Catalog* catalog, TextEngine* engine,
-                    TextRelationDecl text)
-      : FederationService(catalog, engine, std::move(text), Options{}) {}
 
   FederationService(const FederationService&) = delete;
   FederationService& operator=(const FederationService&) = delete;
@@ -239,30 +242,26 @@ class FederationService {
   /// passed (or could not cover the plan's estimated cost).
   Result<QueryOutcome> Run(const std::string& sql, const RunOptions& run);
 
-  /// Deprecated shim over Run() for callers that only want rows; new code
-  /// should call Run() and use the outcome's per-call meter_delta instead
-  /// of diffing the cumulative meter().
-  Result<ExecutionResult> Query(const std::string& sql);
-
   /// Parses and optimizes `sql`, returning the EXPLAIN rendering of the
   /// chosen plan (no execution, no meter charges beyond statistics).
   Result<std::string> Explain(const std::string& sql);
 
-  /// Cumulative execution charges across every Run()/Query() so far.
+  /// Cumulative execution charges across every Run() so far.
   AccessMeter meter() const { return cumulative_.Snapshot(); }
   void ResetMeter() { cumulative_.Reset(); }
 
   /// Charges incurred acquiring statistics (sampling mode only).
-  AccessMeter stats_meter() const { return stats_source_.meter(); }
+  AccessMeter stats_meter() const { return stats_source_->meter(); }
 
-  /// The service-wide circuit breaker shared by every query's resilient
-  /// source; null unless resilience (with breaker) is enabled.
-  CircuitBreaker* breaker() const { return breaker_.get(); }
+  /// The backend: topology plus the service-wide per-(shard, replica)
+  /// breakers / limiters and per-shard hedge controllers.
+  ShardedBackend* backend() const { return backend_.get(); }
 
-  /// The service-wide overload controllers; null when the respective
-  /// feature is off.
-  AdaptiveLimiter* limiter() const { return limiter_.get(); }
-  HedgeController* hedge() const { return hedge_.get(); }
+  /// Single-backend conveniences: the (0, 0) replica's controllers (the
+  /// only ones in a topology of one). Null when the layer is off.
+  CircuitBreaker* breaker() const { return backend_->breaker(0, 0); }
+  AdaptiveLimiter* limiter() const { return backend_->limiter(0, 0); }
+  HedgeController* hedge() const { return backend_->hedge(0); }
   AdmissionController* admission() const { return admission_.get(); }
 
   /// The cross-query cache this service consults (shared or private);
@@ -281,8 +280,32 @@ class FederationService {
   StatsRegistry& stats() { return registry_; }
 
  private:
-  static Options MergeText(Options options, TextRelationDecl text) {
-    options.text = std::move(text);
+  /// Folds the deprecated enable_X aliases into ChainSpec form (new-style
+  /// fields win when both are set).
+  static Options Normalize(Options options) {
+    if (!options.chain.resilience.has_value() && options.enable_resilience) {
+      options.chain.resilience = options.resilience;
+    }
+    if (!options.chain.cache.has_value() && options.enable_cache) {
+      options.chain.cache = options.cache;
+    }
+    if (!options.chain.limiter.has_value() && options.enable_adaptive_limit) {
+      options.chain.limiter = options.adaptive_limit;
+    }
+    if (!options.chain.hedging.has_value() && options.enable_hedging) {
+      options.chain.hedging = options.hedging;
+    }
+    if (!options.admission_control.has_value() && options.enable_admission) {
+      options.admission_control = options.admission;
+    }
+    if (!options.deadline_clock) {
+      if (options.admission_control.has_value() &&
+          options.admission_control->clock) {
+        options.deadline_clock = options.admission_control->clock;
+      } else if (options.admission.clock) {
+        options.deadline_clock = options.admission.clock;
+      }
+    }
     return options;
   }
 
@@ -294,12 +317,16 @@ class FederationService {
   Result<PlanNodePtr> Plan(const FederatedQuery& query);
 
   const Catalog* catalog_;
-  TextEngine* engine_;
   Options options_;
+
+  /// The topology plus shared per-replica controllers; every Run() mints
+  /// its router from this.
+  std::unique_ptr<ShardedBackend> backend_;
 
   /// Serializes statistics acquisition and planning (registry_, rng_).
   std::mutex stats_mu_;
-  RemoteTextSource stats_source_;  ///< Its own meter IS the stats meter.
+  /// Bare (chain-less) router; its own meter IS the stats meter.
+  std::unique_ptr<ShardedTextSource> stats_source_;
   StatsRegistry registry_;
   Rng rng_;
 
@@ -309,21 +336,16 @@ class FederationService {
   /// Shared helper threads for parallel execution (null when serial).
   std::unique_ptr<ThreadPool> pool_;
 
-  /// One breaker for the remote, shared across per-query resilient
-  /// sources (thread-safe). Null when resilience is off.
-  std::unique_ptr<CircuitBreaker> breaker_;
-
-  /// Service-wide overload controllers, shared across queries like the
-  /// breaker. Null when the respective feature is off.
-  std::unique_ptr<AdaptiveLimiter> limiter_;
-  std::unique_ptr<HedgeController> hedge_;
+  /// Admission gate; null when admission_control is absent.
   std::unique_ptr<AdmissionController> admission_;
 
   /// The cross-query cache (private or shared per Options). Null when off.
   std::shared_ptr<TextCache> cache_;
 
-  /// Corpus-change watch: the document count observed by the last Run().
-  /// SIZE_MAX until first observed (no spurious invalidation on startup).
+  /// Corpus-change watch: the TOTAL document count across every shard
+  /// observed by the last Run() — aggregated, so a single-shard corpus
+  /// swap still bumps the epoch. SIZE_MAX until first observed (no
+  /// spurious invalidation on startup).
   std::atomic<size_t> last_corpus_size_{static_cast<size_t>(-1)};
 };
 

@@ -46,7 +46,7 @@ Result<DocNum> TextEngine::AddDocument(Document doc) {
 Result<EngineSearchResult> TextEngine::Search(const TextQuery& query) const {
   MemoryLists lists(&index_);
   return EvaluateBooleanQuery(query, lists, docs_.size(),
-                              max_search_terms_);
+                              max_search_terms_, exhaustive_eval_);
 }
 
 const Document& TextEngine::GetDocument(DocNum num) const {

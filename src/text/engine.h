@@ -48,6 +48,11 @@ class TextEngine final : public SearchableCorpus {
   size_t num_documents() const override { return docs_.size(); }
   size_t max_search_terms() const override { return max_search_terms_; }
   void set_max_search_terms(size_t m) { max_search_terms_ = m; }
+
+  /// Exhaustive Boolean evaluation (no empty-accumulator short-circuits):
+  /// identical results, shard-additive postings charge. See eval.h.
+  void set_exhaustive_eval(bool exhaustive) { exhaustive_eval_ = exhaustive; }
+  bool exhaustive_eval() const { return exhaustive_eval_; }
   const InvertedIndex& index() const { return index_; }
 
   /// The whole collection, in document-number order (used by the
@@ -56,6 +61,7 @@ class TextEngine final : public SearchableCorpus {
 
  private:
   size_t max_search_terms_;
+  bool exhaustive_eval_ = false;
   std::vector<Document> docs_;
   std::unordered_map<std::string, DocNum> docid_to_num_;
   InvertedIndex index_;

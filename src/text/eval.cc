@@ -10,8 +10,10 @@ namespace {
 /// retrieve lists, merge).
 class Evaluator {
  public:
-  Evaluator(const ListProvider& lists, size_t num_documents)
-      : lists_(lists), num_documents_(num_documents) {}
+  Evaluator(const ListProvider& lists, size_t num_documents,
+            bool exhaustive)
+      : lists_(lists), num_documents_(num_documents),
+        exhaustive_(exhaustive) {}
 
   Result<PostingList> Eval(const TextQuery& node) {
     switch (node.kind()) {
@@ -21,7 +23,8 @@ class Evaluator {
         TEXTJOIN_ASSIGN_OR_RETURN(PostingList acc,
                                   Eval(*node.children()[0]));
         for (size_t i = 1; i < node.children().size(); ++i) {
-          if (acc.empty()) break;  // short-circuit like a real engine
+          if (acc.empty() && !exhaustive_) break;  // short-circuit like a
+                                                   // real engine
           TEXTJOIN_ASSIGN_OR_RETURN(PostingList next,
                                     Eval(*node.children()[i]));
           acc = IntersectLists(acc, next, /*counter=*/nullptr);
@@ -77,7 +80,9 @@ class Evaluator {
                               lists_.GetList(node.field(), tokens[0]));
     postings_ += acc.size();
     for (size_t i = 1; i < tokens.size(); ++i) {
-      if (acc.empty()) break;  // short-circuit; remaining lists not read
+      // Short-circuit (remaining lists not read) unless exhaustive mode
+      // wants the shard-additive charge.
+      if (acc.empty() && !exhaustive_) break;
       TEXTJOIN_ASSIGN_OR_RETURN(PostingList next,
                                 lists_.GetList(node.field(), tokens[i]));
       postings_ += next.size();
@@ -97,6 +102,7 @@ class Evaluator {
 
   const ListProvider& lists_;
   size_t num_documents_;
+  bool exhaustive_;
   uint64_t postings_ = 0;
 };
 
@@ -105,14 +111,15 @@ class Evaluator {
 Result<EngineSearchResult> EvaluateBooleanQuery(const TextQuery& query,
                                                 const ListProvider& lists,
                                                 size_t num_documents,
-                                                size_t max_terms) {
+                                                size_t max_terms,
+                                                bool exhaustive) {
   const size_t terms = query.CountTerms();
   if (terms > max_terms) {
     return Status::ResourceExhausted(
         "search has " + std::to_string(terms) + " terms; the limit is " +
         std::to_string(max_terms));
   }
-  Evaluator evaluator(lists, num_documents);
+  Evaluator evaluator(lists, num_documents, exhaustive);
   TEXTJOIN_ASSIGN_OR_RETURN(PostingList matched, evaluator.Eval(query));
   EngineSearchResult result;
   result.docs = DocsOf(matched);

@@ -37,10 +37,19 @@ class ListProvider {
 
 /// Evaluates `query` against `lists`. `num_documents` is needed for NOT
 /// (complement); `max_terms` enforces the per-search limit M.
+///
+/// `exhaustive` disables the empty-accumulator short-circuits (AND and
+/// phrase evaluation normally stop reading lists once the intersection is
+/// provably empty). Results are identical either way; only
+/// postings_processed changes. Sharded topologies use exhaustive mode to
+/// make the charge exactly additive across shards: with short-circuiting,
+/// a shard whose local intersection empties early reads fewer postings
+/// than its slice of the single-backend evaluation would.
 Result<EngineSearchResult> EvaluateBooleanQuery(const TextQuery& query,
                                                 const ListProvider& lists,
                                                 size_t num_documents,
-                                                size_t max_terms);
+                                                size_t max_terms,
+                                                bool exhaustive = false);
 
 }  // namespace textjoin
 

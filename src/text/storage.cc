@@ -404,7 +404,7 @@ Result<EngineSearchResult> DiskTextEngine::Search(
     const TextQuery& query) const {
   DiskLists lists(index_.get());
   return EvaluateBooleanQuery(query, lists, docs_.size(),
-                              max_search_terms_);
+                              max_search_terms_, exhaustive_eval_);
 }
 
 const Document& DiskTextEngine::GetDocument(DocNum num) const {

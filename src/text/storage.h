@@ -120,6 +120,10 @@ class DiskTextEngine final : public SearchableCorpus {
   size_t num_documents() const override { return docs_.size(); }
   size_t max_search_terms() const override { return max_search_terms_; }
 
+  /// Exhaustive Boolean evaluation (see eval.h / TextEngine).
+  void set_exhaustive_eval(bool exhaustive) { exhaustive_eval_ = exhaustive; }
+  bool exhaustive_eval() const { return exhaustive_eval_; }
+
   const DiskPostingIndex& index() const { return *index_; }
 
  private:
@@ -131,6 +135,7 @@ class DiskTextEngine final : public SearchableCorpus {
   std::unordered_map<std::string, DocNum> docid_to_num_;
   std::unique_ptr<DiskPostingIndex> index_;
   size_t max_search_terms_;
+  bool exhaustive_eval_ = false;
 };
 
 }  // namespace textjoin

@@ -1,0 +1,59 @@
+#include "workload/sharded_corpus.h"
+
+#include <utility>
+
+namespace textjoin {
+
+Result<ShardedCorpus> SplitCorpus(const TextEngine& full,
+                                  const ShardedCorpusConfig& config) {
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (config.num_replicas == 0) {
+    return Status::InvalidArgument("num_replicas must be at least 1");
+  }
+  ShardedCorpus out;
+  out.engines.reserve(config.num_shards);
+  for (size_t s = 0; s < config.num_shards; ++s) {
+    auto engine = std::make_unique<TextEngine>(full.max_search_terms());
+    engine->set_exhaustive_eval(config.exhaustive_eval);
+    out.engines.push_back(std::move(engine));
+  }
+
+  auto ordinals =
+      std::make_shared<std::unordered_map<std::string, int64_t>>();
+  ordinals->reserve(full.num_documents());
+  for (const Document& doc : full.documents()) {
+    const size_t shard = ShardForDocid(doc.docid, config.num_shards);
+    TEXTJOIN_RETURN_IF_ERROR(out.engines[shard]->AddDocument(doc).status());
+    // The document's number in `full` IS its global ordinal: engines
+    // assign DocNums in insertion order, and documents() iterates in
+    // DocNum order.
+    ordinals->emplace(doc.docid, static_cast<int64_t>(ordinals->size()));
+  }
+  out.ordinals = ordinals;
+
+  const size_t num_shards = config.num_shards;
+  out.topology.partitioner = [num_shards](const std::string& docid) {
+    return ShardForDocid(docid, num_shards);
+  };
+  out.topology.global_ordinal = [ordinals](const std::string& docid) {
+    const auto it = ordinals->find(docid);
+    return it != ordinals->end() ? it->second
+                                 : static_cast<int64_t>(ordinals->size());
+  };
+  out.topology.shards.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t r = 0; r < config.num_replicas; ++r) {
+      // Replicas intentionally share one engine: a replica is another
+      // server process over the same data, and the interesting behavior
+      // (failover, cross-replica hedging, per-replica chains) lives in the
+      // routing layer, not in duplicated storage.
+      out.topology.shards[s].replicas.push_back(
+          BackendTopology::Replica{out.engines[s].get(), nullptr});
+    }
+  }
+  return out;
+}
+
+}  // namespace textjoin

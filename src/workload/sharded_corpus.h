@@ -1,0 +1,53 @@
+#ifndef TEXTJOIN_WORKLOAD_SHARDED_CORPUS_H_
+#define TEXTJOIN_WORKLOAD_SHARDED_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/sharding.h"
+#include "text/engine.h"
+
+/// \file
+/// Builds sharded deployments out of an existing corpus: every document of
+/// the full engine is placed on ShardForDocid(docid, N)'s shard, the
+/// resulting per-shard engines are described by a ready-to-use
+/// BackendTopology (R replicas per shard share one engine — replication is
+/// simulated at the routing layer, where failover and hedging live), and a
+/// docid -> global-ordinal map lets the router merge scattered results
+/// into the exact single-backend order.
+
+namespace textjoin {
+
+struct ShardedCorpusConfig {
+  size_t num_shards = 4;
+  size_t num_replicas = 1;
+  /// Evaluate shard searches exhaustively so postings charges are exactly
+  /// additive across shards (see eval.h). Enable together with
+  /// set_exhaustive_eval on the reference engine when asserting meter
+  /// byte-identity.
+  bool exhaustive_eval = false;
+};
+
+/// A split corpus plus the topology that routes over it. Movable: the
+/// topology's closures capture the ordinal map through a shared_ptr and
+/// the engines through stable heap pointers.
+struct ShardedCorpus {
+  std::vector<std::unique_ptr<TextEngine>> engines;  ///< One per shard.
+  std::shared_ptr<const std::unordered_map<std::string, int64_t>> ordinals;
+  BackendTopology topology;
+};
+
+/// Splits `full` into config.num_shards shard engines (each inheriting the
+/// term limit M) and builds the topology. Fails only if re-adding a
+/// document fails (duplicate docids in `full` are impossible by
+/// construction).
+Result<ShardedCorpus> SplitCorpus(const TextEngine& full,
+                                  const ShardedCorpusConfig& config = {});
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_WORKLOAD_SHARDED_CORPUS_H_

@@ -836,7 +836,7 @@ TEST(CacheServiceTest, WarmQueriesReportActivityAndRenderCacheLines) {
   auto catalog = MakeStudentCatalog();
   FederationService::Options options;
   options.text = MercuryDecl();
-  options.enable_cache = true;
+  options.chain.cache.emplace();
   FederationService service(catalog.get(), engine.get(), options);
 
   auto cold = service.Run(kServiceSql);
@@ -884,7 +884,7 @@ TEST(CacheServiceTest, CorpusGrowthAdvancesTheEpoch) {
   auto catalog = MakeStudentCatalog();
   FederationService::Options options;
   options.text = MercuryDecl();
-  options.enable_cache = true;
+  options.chain.cache.emplace();
   FederationService service(catalog.get(), engine.get(), options);
 
   ASSERT_TRUE(service.Run(kServiceSql).ok());
@@ -959,14 +959,14 @@ TEST(CacheStressTest, ManySessionsOneSharedCacheUnderChaos) {
     options.text = MercuryDecl();
     options.parallelism = 4;
     options.shared_cache = shared_cache;
-    options.enable_resilience = true;
-    options.resilience.retry.max_attempts = 4;
-    options.resilience.retry.jitter_seed = 100 + static_cast<uint64_t>(s);
-    options.resilience.sleeper = [](std::chrono::microseconds) {};
+    options.chain.resilience.emplace();
+    options.chain.resilience->retry.max_attempts = 4;
+    options.chain.resilience->retry.jitter_seed = 100 + static_cast<uint64_t>(s);
+    options.chain.resilience->sleeper = [](std::chrono::microseconds) {};
     // Keep the breaker wired in (its accounting must stay clean under the
     // shared cache) but out of statistical reach of 0.25-rate chaos: a
     // trip would make absorbed faults order-dependent and the test flaky.
-    options.resilience.breaker.failure_threshold = 64;
+    options.chain.resilience->breaker.failure_threshold = 64;
     options.failure_mode = FailureMode::kBestEffort;
     ChaosOptions chaos;
     chaos.seed = 1000 + static_cast<uint64_t>(s);

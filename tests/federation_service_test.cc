@@ -25,8 +25,9 @@ class FederationServiceTest : public ::testing::Test {
 
   FederationService MakeService(FederationService::Options options =
                                     FederationService::Options{}) {
+    options.text = workload_.text;
     return FederationService(workload_.catalog.get(), workload_.engine.get(),
-                             workload_.text, options);
+                             std::move(options));
   }
 
   std::multiset<std::string> Reference(const std::string& sql) {
@@ -49,12 +50,13 @@ const char* const kSql =
 
 TEST_F(FederationServiceTest, QueryEndToEnd) {
   FederationService service = MakeService();
-  auto result = service.Query(kSql);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto outcome = service.Run(kSql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   std::multiset<std::string> got;
-  for (const Row& row : result->rows) got.insert(RowToString(row));
+  for (const Row& row : outcome->rows.rows) got.insert(RowToString(row));
   EXPECT_EQ(got, Reference(kSql));
   EXPECT_GT(service.meter().invocations, 0u);
+  EXPECT_EQ(outcome->meter_delta.invocations, service.meter().invocations);
 }
 
 TEST_F(FederationServiceTest, ExplainDoesNotExecute) {
@@ -69,10 +71,10 @@ TEST_F(FederationServiceTest, ExplainDoesNotExecute) {
 
 TEST_F(FederationServiceTest, ParseErrorsPropagate) {
   FederationService service = MakeService();
-  EXPECT_FALSE(service.Query("select from nothing").ok());
-  EXPECT_FALSE(service.Query("select * from student where a or b").ok());
-  EXPECT_FALSE(service.Query("select * from missing_table, mercury "
-                             "where missing_table.x in mercury.author")
+  EXPECT_FALSE(service.Run("select from nothing").ok());
+  EXPECT_FALSE(service.Run("select * from student where a or b").ok());
+  EXPECT_FALSE(service.Run("select * from missing_table, mercury "
+                           "where missing_table.x in mercury.author")
                    .ok());
 }
 
@@ -81,10 +83,10 @@ TEST_F(FederationServiceTest, SamplingModeChargesStatsMeter) {
   options.oracle_stats = false;
   options.sample_size = 5;
   FederationService service = MakeService(options);
-  auto result = service.Query(kSql);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto outcome = service.Run(kSql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   std::multiset<std::string> got;
-  for (const Row& row : result->rows) got.insert(RowToString(row));
+  for (const Row& row : outcome->rows.rows) got.insert(RowToString(row));
   // Sampled statistics may pick a different plan, never a different answer.
   EXPECT_EQ(got, Reference(kSql));
   EXPECT_GT(service.stats_meter().invocations, 0u);
@@ -96,9 +98,9 @@ TEST_F(FederationServiceTest, StatisticsAmortizedAcrossQueries) {
   options.oracle_stats = false;
   options.sample_size = 5;
   FederationService service = MakeService(options);
-  ASSERT_TRUE(service.Query(kSql).ok());
+  ASSERT_TRUE(service.Run(kSql).ok());
   const uint64_t after_first = service.stats_meter().invocations;
-  ASSERT_TRUE(service.Query(kSql).ok());
+  ASSERT_TRUE(service.Run(kSql).ok());
   // Same predicate: no new sampling traffic (paper: "the sampling cost is
   // amortized over queries with the same predicate").
   EXPECT_EQ(service.stats_meter().invocations, after_first);
@@ -106,9 +108,9 @@ TEST_F(FederationServiceTest, StatisticsAmortizedAcrossQueries) {
 
 TEST_F(FederationServiceTest, MeterAccumulatesAndResets) {
   FederationService service = MakeService();
-  ASSERT_TRUE(service.Query(kSql).ok());
+  ASSERT_TRUE(service.Run(kSql).ok());
   const uint64_t once = service.meter().invocations;
-  ASSERT_TRUE(service.Query(kSql).ok());
+  ASSERT_TRUE(service.Run(kSql).ok());
   EXPECT_GE(service.meter().invocations, 2 * once);
   service.ResetMeter();
   EXPECT_EQ(service.meter().invocations, 0u);
@@ -116,11 +118,72 @@ TEST_F(FederationServiceTest, MeterAccumulatesAndResets) {
 
 TEST_F(FederationServiceTest, PureRelationalQueriesWork) {
   FederationService service = MakeService();
-  auto result = service.Query(
+  auto result = service.Run(
       "select student.name from student, faculty "
       "where student.advisor = faculty.name and faculty.dept = 'ai'");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(service.meter().invocations, 0u);  // no text source involved
+}
+
+// The pre-ChainSpec enable_X flag + XOptions pairs stay as deprecated
+// aliases for one release. A service configured through the aliases must
+// behave byte-for-byte like one configured through chain.* /
+// admission_control — rows, meter, and the resulting control surfaces.
+TEST_F(FederationServiceTest, DeprecatedAliasesMatchChainSpec) {
+  FederationService::Options legacy;
+  legacy.enable_cache = true;
+  legacy.enable_resilience = true;
+  legacy.resilience.retry.max_attempts = 3;
+  legacy.resilience.sleeper = [](std::chrono::microseconds) {};
+  legacy.enable_adaptive_limit = true;
+  legacy.enable_admission = true;
+  legacy.admission.max_concurrent = 2;
+
+  FederationService::Options chained;
+  chained.chain.cache.emplace();
+  chained.chain.resilience.emplace();
+  chained.chain.resilience->retry.max_attempts = 3;
+  chained.chain.resilience->sleeper = [](std::chrono::microseconds) {};
+  chained.chain.limiter.emplace();
+  chained.admission_control.emplace();
+  chained.admission_control->max_concurrent = 2;
+
+  FederationService via_alias = MakeService(std::move(legacy));
+  FederationService via_chain = MakeService(std::move(chained));
+  for (FederationService* service : {&via_alias, &via_chain}) {
+    EXPECT_NE(service->cache(), nullptr);
+    EXPECT_NE(service->breaker(), nullptr);
+    EXPECT_NE(service->limiter(), nullptr);
+    EXPECT_NE(service->admission(), nullptr);
+  }
+
+  auto alias_outcome = via_alias.Run(kSql);
+  auto chain_outcome = via_chain.Run(kSql);
+  ASSERT_TRUE(alias_outcome.ok()) << alias_outcome.status().ToString();
+  ASSERT_TRUE(chain_outcome.ok()) << chain_outcome.status().ToString();
+  std::multiset<std::string> alias_rows, chain_rows;
+  for (const Row& row : alias_outcome->rows.rows)
+    alias_rows.insert(RowToString(row));
+  for (const Row& row : chain_outcome->rows.rows)
+    chain_rows.insert(RowToString(row));
+  EXPECT_EQ(alias_rows, chain_rows);
+  EXPECT_EQ(alias_rows, Reference(kSql));
+  EXPECT_EQ(alias_outcome->meter_delta.ToString(),
+            chain_outcome->meter_delta.ToString());
+}
+
+// When both styles are set, the new chain.* fields win over the aliases.
+TEST_F(FederationServiceTest, ChainSpecWinsOverDeprecatedAliases) {
+  FederationService::Options options;
+  options.enable_resilience = true;
+  options.resilience.retry.max_attempts = 9;
+  ResilienceOptions chained;
+  chained.retry.max_attempts = 2;
+  options.chain.resilience = std::move(chained);
+  FederationService service = MakeService(std::move(options));
+  ASSERT_NE(service.backend(), nullptr);
+  ASSERT_TRUE(service.backend()->chain().resilience.has_value());
+  EXPECT_EQ(service.backend()->chain().resilience->retry.max_attempts, 2);
 }
 
 }  // namespace

@@ -801,9 +801,9 @@ TEST(ServiceOverloadTest, AdmissionBoundsTheQueueAndShedsHonestly) {
 
   FederationService::Options options;
   options.text = MercuryDecl();
-  options.enable_admission = true;
-  options.admission.max_concurrent = 2;
-  options.admission.max_queue = 4;
+  options.admission_control.emplace();
+  options.admission_control->max_concurrent = 2;
+  options.admission_control->max_queue = 4;
   // Real per-operation latency so executions overlap and the queue fills.
   options.execution_source_decorator = [](TextSource* inner) {
     ChaosOptions chaos;
@@ -887,9 +887,8 @@ TEST(ServiceOverloadTest, OverloadActivityReachesOutcomeAndDefaultsEmpty) {
   // their waste while meter_delta stays byte-identical to the plain run.
   FederationService::Options options;
   options.text = MercuryDecl();
-  options.enable_adaptive_limit = true;
-  options.enable_hedging = true;
-  options.hedging = ForceHedgeOptions();
+  options.chain.limiter.emplace();
+  options.chain.hedging = ForceHedgeOptions();
   FederationService service(&catalog, engine.get(), options);
   auto outcome = service.Run(sql);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
@@ -921,7 +920,7 @@ TEST(ServiceOverloadTest, DeadlineShedsMidQueryWithHonestReport) {
   FederationService::Options options;
   options.text = MercuryDecl();
   options.failure_mode = FailureMode::kBestEffort;
-  options.admission.clock = clock->clock();  // THE query-deadline clock.
+  options.deadline_clock = clock->clock();  // THE query-deadline clock.
   options.default_deadline = std::chrono::microseconds(500);
   options.execution_source_decorator = [clock](TextSource* inner) {
     ChaosOptions chaos;

@@ -739,10 +739,10 @@ TEST_F(ResilienceServiceTest, ChaoticServiceRecoversByteIdentically) {
 
   FederationService::Options options;
   options.parallelism = 4;
-  options.enable_resilience = true;
-  options.resilience.retry.max_attempts = 8;
-  options.resilience.enable_breaker = false;
-  options.resilience.sleeper = [](std::chrono::microseconds) {};
+  options.chain.resilience.emplace();
+  options.chain.resilience->retry.max_attempts = 8;
+  options.chain.resilience->enable_breaker = false;
+  options.chain.resilience->sleeper = [](std::chrono::microseconds) {};
   options.failure_mode = FailureMode::kRetryThenFail;
   options.execution_source_decorator = [](TextSource* inner) {
     ChaosOptions chaos;
@@ -765,13 +765,13 @@ TEST_F(ResilienceServiceTest, ChaoticServiceRecoversByteIdentically) {
 
 TEST_F(ResilienceServiceTest, DeadRemoteTripsTheSharedBreaker) {
   FederationService::Options options;
-  options.enable_resilience = true;
+  options.chain.resilience.emplace();
   // Fail-fast aborts after the first operation exhausts its 2 attempts, so
   // the threshold must be reachable within those 2 recorded failures.
-  options.resilience.retry.max_attempts = 2;
-  options.resilience.breaker.failure_threshold = 2;
-  options.resilience.breaker.cooldown = std::chrono::hours(1);
-  options.resilience.sleeper = [](std::chrono::microseconds) {};
+  options.chain.resilience->retry.max_attempts = 2;
+  options.chain.resilience->breaker.failure_threshold = 2;
+  options.chain.resilience->breaker.cooldown = std::chrono::hours(1);
+  options.chain.resilience->sleeper = [](std::chrono::microseconds) {};
   options.execution_source_decorator = [](TextSource* inner) {
     ChaosOptions chaos;
     chaos.failure_period = 1;  // A dead server: every call fails.
@@ -815,10 +815,10 @@ TEST_F(ResilienceServiceTest, ExecutorClampsParallelismToSourceCap) {
 TEST_F(ResilienceServiceTest, ConcurrentChaoticQueriesStaySane) {
   FederationService::Options options;
   options.parallelism = 2;
-  options.enable_resilience = true;
-  options.resilience.retry.max_attempts = 6;
-  options.resilience.breaker.failure_threshold = 1000;
-  options.resilience.sleeper = [](std::chrono::microseconds) {};
+  options.chain.resilience.emplace();
+  options.chain.resilience->retry.max_attempts = 6;
+  options.chain.resilience->breaker.failure_threshold = 1000;
+  options.chain.resilience->sleeper = [](std::chrono::microseconds) {};
   options.failure_mode = FailureMode::kBestEffort;
   std::atomic<uint64_t> next_seed{1};
   options.execution_source_decorator = [&next_seed](TextSource* inner) {
