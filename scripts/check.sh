@@ -20,6 +20,19 @@ fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# Hang backstop: per-test TIMEOUTs (tests/CMakeLists.txt) make a deadlocked
+# test fail, and this outer wall-clock guard makes a wedged ctest process
+# itself fail rather than hang the whole check. Skipped gracefully where
+# coreutils `timeout` is unavailable.
+ctest_wall_clock_budget="${TEXTJOIN_CTEST_BUDGET_SECONDS:-1800}"
+run_ctest() {
+  if command -v timeout >/dev/null 2>&1; then
+    timeout --kill-after=30 "$ctest_wall_clock_budget" ctest "$@"
+  else
+    ctest "$@"
+  fi
+}
+
 # Formatting gate, mirroring the CI strict job. Skipped gracefully when no
 # clang-format is installed (the compile legs still run).
 if command -v clang-format >/dev/null 2>&1; then
@@ -54,10 +67,12 @@ for leg in "${legs[@]}"; do
   echo "==> [$leg] building"
   cmake --build "$build" -j "$jobs"
   echo "==> [$leg] testing"
-  ctest --test-dir "$build" --output-on-failure -j "$jobs"
+  run_ctest --test-dir "$build" --output-on-failure -j "$jobs"
   if [ "$leg" = release ]; then
     echo "==> [release] shard scaling gate"
     "$build/bench/bench_shard_scaling"
+    echo "==> [release] cancellation gates"
+    "$build/bench/bench_cancellation"
   fi
   if [ "$leg" = coverage ]; then
     echo "==> [coverage] line-coverage floor"

@@ -1,0 +1,219 @@
+#include "common/cancel.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace textjoin {
+
+namespace {
+thread_local const CancelToken* tls_cancel_token = nullptr;
+}  // namespace
+
+const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kClient:
+      return "client";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+CancelToken CancelToken::Make() {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  return token;
+}
+
+void CancelToken::CancelState(const std::shared_ptr<State>& state,
+                              CancelReason reason, std::string message) {
+  if (state == nullptr || reason == CancelReason::kNone) return;
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->cancelled.load(std::memory_order_relaxed)) return;
+    state->reason = reason;
+    state->message = std::move(message);
+    state->cancelled.store(true, std::memory_order_release);
+    callbacks.reserve(state->callbacks.size());
+    for (auto& [id, fn] : state->callbacks) callbacks.push_back(std::move(fn));
+    state->callbacks.clear();
+  }
+  // Wake waiters and run wake-up callbacks outside the token lock so a
+  // callback may take any foreign lock without ordering against ours.
+  state->cv.notify_all();
+  for (auto& fn : callbacks) fn();
+}
+
+void CancelToken::Cancel(CancelReason reason, std::string message) const {
+  CancelState(state_, reason, std::move(message));
+}
+
+CancelReason CancelToken::reason() const {
+  if (state_ == nullptr || !state_->cancelled.load(std::memory_order_acquire)) {
+    return CancelReason::kNone;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reason;
+}
+
+void CancelToken::SetDeadline(std::chrono::steady_clock::time_point deadline,
+                              SteadyClockFn clock) const {
+  if (state_ == nullptr ||
+      deadline == std::chrono::steady_clock::time_point::max()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->deadline = deadline;
+    state_->clock = std::move(clock);
+    state_->has_deadline.store(true, std::memory_order_release);
+  }
+}
+
+Status CancelToken::StatusLocked() const {
+  CancelReason reason;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    reason = state_->reason;
+    message = state_->message;
+  }
+  if (reason == CancelReason::kDeadline) {
+    return Status::DeadlineExceeded(message);
+  }
+  return Status::Cancelled(message);
+}
+
+Status CancelToken::status() const {
+  if (!cancelled()) return Status::OK();
+  return StatusLocked();
+}
+
+Status CancelToken::Check() const {
+  if (state_ == nullptr) return Status::OK();
+  if (state_->cancelled.load(std::memory_order_acquire)) {
+    return StatusLocked();
+  }
+  if (state_->has_deadline.load(std::memory_order_acquire)) {
+    std::chrono::steady_clock::time_point now, deadline;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      deadline = state_->deadline;
+      now = state_->clock ? state_->clock()
+                          : std::chrono::steady_clock::now();
+    }
+    if (now >= deadline) {
+      CancelState(state_, CancelReason::kDeadline,
+                  "per-query deadline exceeded");
+      return StatusLocked();
+    }
+  }
+  return Status::OK();
+}
+
+bool CancelToken::SleepFor(std::chrono::microseconds duration) const {
+  if (state_ == nullptr) {
+    std::this_thread::sleep_for(duration);
+    return false;
+  }
+  // An expired deadline counts as cancellation even before sleeping.
+  if (!Check().ok()) return true;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  auto until = std::chrono::steady_clock::now() + duration;
+  // Under the real clock, cap the sleep at the deadline so expiry bounds
+  // cancel latency; an injected clock cannot wake a blocked thread, so those
+  // waits rely on an explicit Cancel() notification instead.
+  if (state_->has_deadline.load(std::memory_order_relaxed) &&
+      state_->clock == nullptr && state_->deadline < until) {
+    until = state_->deadline;
+  }
+  state_->cv.wait_until(lock, until, [this] {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  });
+  lock.unlock();
+  return !Check().ok();
+}
+
+std::chrono::steady_clock::time_point CancelToken::wait_deadline() const {
+  if (state_ == nullptr ||
+      !state_->has_deadline.load(std::memory_order_acquire)) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->clock) return std::chrono::steady_clock::time_point::max();
+  return state_->deadline;
+}
+
+CancelToken::Registration& CancelToken::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    Release();
+    state_ = std::move(other.state_);
+    id_ = other.id_;
+    other.state_.reset();
+  }
+  return *this;
+}
+
+void CancelToken::Registration::Release() {
+  if (state_ == nullptr) return;
+  auto state = std::static_pointer_cast<State>(state_);
+  state_.reset();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->callbacks.erase(id_);
+}
+
+CancelToken::Registration CancelToken::OnCancel(
+    std::function<void()> fn) const {
+  Registration reg;
+  if (state_ == nullptr || fn == nullptr) return reg;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->cancelled.load(std::memory_order_relaxed)) {
+      reg.id_ = state_->next_callback_id++;
+      reg.state_ = state_;
+      state_->callbacks.emplace(reg.id_, std::move(fn));
+      return reg;
+    }
+  }
+  fn();  // already cancelled: fire inline, outside the lock
+  return reg;
+}
+
+CancelToken::Registration CancelToken::LinkChild(
+    const CancelToken& child) const {
+  if (state_ == nullptr || child.state_ == nullptr) return Registration();
+  auto parent = state_;
+  auto child_state = child.state_;
+  return OnCancel([parent, child_state] {
+    CancelReason reason;
+    std::string message;
+    {
+      std::lock_guard<std::mutex> lock(parent->mu);
+      reason = parent->reason;
+      message = parent->message;
+    }
+    CancelState(child_state, reason, std::move(message));
+  });
+}
+
+const CancelToken& CurrentCancelToken() {
+  static const CancelToken kNullToken;
+  return tls_cancel_token != nullptr ? *tls_cancel_token : kNullToken;
+}
+
+CancelScope::CancelScope(CancelToken token)
+    : token_(std::move(token)), prev_(tls_cancel_token) {
+  tls_cancel_token = &token_;
+}
+
+CancelScope::~CancelScope() { tls_cancel_token = prev_; }
+
+}  // namespace textjoin

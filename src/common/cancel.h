@@ -1,0 +1,201 @@
+#ifndef TEXTJOIN_COMMON_CANCEL_H_
+#define TEXTJOIN_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file
+/// Cooperative query cancellation (DESIGN.md §13).
+///
+/// A CancelToken is a copyable handle to shared cancellation state. One token
+/// is minted per query; client aborts (`QueryHandle::Cancel`), per-query
+/// deadline expiry (`SetDeadline`), and service drain/shutdown all arm the
+/// same token, so every blocking or looping site in the stack needs exactly
+/// one cooperative check. Cancellation is cooperative and never tears a row
+/// set: work in flight observes the token at its next cancellation point and
+/// unwinds with an error Status (kCancelled for client/shutdown aborts,
+/// kDeadlineExceeded for deadline expiry, which keeps deadline cancellation on
+/// the established shed/degradation path).
+///
+/// The token is threaded ambiently: `CancelScope` installs a token in
+/// thread-local storage for the duration of a stage/task, and decorators deep
+/// in the connector chain (retry backoffs, limiter permit waits, chaos latency
+/// waits, hedge duplicates) pick it up via `CurrentCancelToken()`. This keeps
+/// the `TextSource` interface and the test-only source-decorator hooks
+/// signature-stable while still reaching every wait in the stack.
+
+namespace textjoin {
+
+/// Injectable monotonic clock; nullptr means std::chrono::steady_clock.
+using SteadyClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+/// Why a token was cancelled. First cancellation wins; later calls are no-ops.
+enum class CancelReason {
+  kNone = 0,  ///< Not cancelled.
+  kClient,    ///< The caller abandoned the query (QueryHandle::Cancel).
+  kDeadline,  ///< The per-query deadline expired.
+  kShutdown,  ///< Service drain/shutdown hard-cancelled the query.
+};
+
+/// Stable human-readable name for `reason` (e.g. "client").
+const char* CancelReasonName(CancelReason reason);
+
+/// Copyable shared-state cancellation token.
+///
+/// A default-constructed token is the *null token*: `valid()` is false, it
+/// never reports cancellation, and every operation on it is a cheap no-op.
+/// All copies of a `Make()`d token share one state; cancelling any copy
+/// cancels them all.
+class CancelToken {
+ public:
+  /// Null token — never cancels.
+  CancelToken() = default;
+
+  /// Mints a fresh, uncancelled token with live shared state.
+  static CancelToken Make();
+
+  /// True when this token carries shared state (i.e. is not the null token).
+  bool valid() const { return state_ != nullptr; }
+
+  /// True when both tokens share one cancellation state (copies of the same
+  /// Make()). Two null tokens also compare equal. Lets hot paths skip
+  /// redundant scope installs / token copies.
+  bool SharesStateWith(const CancelToken& other) const {
+    return state_.get() == other.state_.get();
+  }
+
+  /// Arms the token. Idempotent: the first call wins and fires registered
+  /// callbacks exactly once; later calls (any reason) are no-ops. Callbacks
+  /// run synchronously on the cancelling thread, after the token's internal
+  /// lock is released. No-op on the null token and for kNone.
+  void Cancel(CancelReason reason, std::string message) const;
+
+  /// True once the token has been cancelled (cheap: one atomic load). Note a
+  /// deadline that has expired but was never observed by `Check()` or a wait
+  /// does not flip this by itself — loops should call `Check()`.
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// The reason for cancellation, or kNone.
+  CancelReason reason() const;
+
+  /// Attaches a deadline: once `clock` (steady_clock when nullptr) passes
+  /// `deadline`, the next `Check()` or interruptible wait cancels the token
+  /// with kDeadline. No-op on the null token, if already cancelled, or for a
+  /// time_point::max() deadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline,
+                   SteadyClockFn clock = nullptr) const;
+
+  /// OK while live; Status::Cancelled for client/shutdown cancellation;
+  /// Status::DeadlineExceeded for deadline expiry. This is the cancellation
+  /// point: it also notices a newly-expired deadline and arms the token.
+  Status Check() const;
+
+  /// Cancellation status for an already-cancelled token (Check() sans the
+  /// deadline probe). OK when not cancelled.
+  Status status() const;
+
+  /// Interruptible sleep. Sleeps up to `duration`, waking early on
+  /// cancellation (including deadline expiry under a real clock). Returns
+  /// true when the token is cancelled on exit. The null token sleeps the full
+  /// duration and returns false.
+  bool SleepFor(std::chrono::microseconds duration) const;
+
+  /// For condition-variable waits that must also respect the token's
+  /// deadline: the real-clock deadline when one is armed (and the token uses
+  /// the real clock), otherwise time_point::max(). Waits on an injected clock
+  /// rely on explicit Cancel() notification instead.
+  std::chrono::steady_clock::time_point wait_deadline() const;
+
+  /// RAII handle for an OnCancel callback; unregisters on destruction.
+  /// Caveat: if cancellation fires concurrently with destruction, the
+  /// callback may still be running when the destructor returns — callbacks
+  /// must only touch state that outlives the cancelling call (e.g. notify a
+  /// condition variable owned by a longer-lived object).
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept
+        : state_(std::move(other.state_)), id_(other.id_) {
+      other.state_.reset();
+    }
+    Registration& operator=(Registration&& other) noexcept;
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { Release(); }
+
+   private:
+    friend class CancelToken;
+    void Release();
+    std::shared_ptr<void> state_;
+    uint64_t id_ = 0;
+  };
+
+  /// Registers `fn` to run when the token is cancelled; used to wake foreign
+  /// condition variables. If the token is already cancelled, `fn` runs inline
+  /// before returning. Returns an empty Registration on the null token.
+  Registration OnCancel(std::function<void()> fn) const;
+
+  /// Links `child` so cancelling *this* cancels it too (same reason/message).
+  /// The link lives as long as the returned Registration. If *this* is
+  /// already cancelled, `child` is cancelled inline.
+  Registration LinkChild(const CancelToken& child) const;
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> cancelled{false};
+    std::atomic<bool> has_deadline{false};
+    CancelReason reason = CancelReason::kNone;  // guarded by mu
+    std::string message;                        // guarded by mu
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();  // guarded by mu
+    SteadyClockFn clock;                               // guarded by mu
+    uint64_t next_callback_id = 0;                     // guarded by mu
+    std::map<uint64_t, std::function<void()>> callbacks;  // guarded by mu
+  };
+
+  static void CancelState(const std::shared_ptr<State>& state,
+                          CancelReason reason, std::string message);
+  Status StatusLocked() const;  // requires state_ && cancelled
+
+  std::shared_ptr<State> state_;
+};
+
+/// The ambient token for the current thread, or the null token when no
+/// CancelScope is active. Connector decorators created behind
+/// signature-stable hooks read the query's token from here.
+const CancelToken& CurrentCancelToken();
+
+/// Installs `token` as the current thread's ambient token for this scope,
+/// restoring the previous one on destruction. Installed at every thread
+/// hand-off: the query thread in FederationService::Run, pool workers in
+/// StageScheduler::ExecuteTask, scatter-shard and hedge-attempt lambdas.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken token_;
+  const CancelToken* prev_;
+};
+
+}  // namespace textjoin
+
+#endif  // TEXTJOIN_COMMON_CANCEL_H_

@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation detected at runtime.
   kUnavailable,       ///< A remote dependency is (transiently) unreachable.
   kDeadlineExceeded,  ///< An operation exceeded its time budget.
+  kCancelled,         ///< The query was cancelled (client abort or shutdown).
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -74,6 +75,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

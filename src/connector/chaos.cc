@@ -52,7 +52,17 @@ void ChaosTextSource::Delay(std::chrono::microseconds delay) const {
   if (options_.latency_sink) {
     options_.latency_sink(delay);
   } else {
-    std::this_thread::sleep_for(delay);
+    // Interruptible: injected lag must not pin a cancelled query. The
+    // caller re-checks the token after the latency point.
+    CurrentCancelToken().SleepFor(delay);
+  }
+}
+
+void ChaosTextSource::MaybeInjectCancel(uint64_t ordinal, int64_t at) const {
+  if (at > 0 && ordinal == static_cast<uint64_t>(at)) {
+    CurrentCancelToken().Cancel(options_.cancel_reason,
+                                "chaos: injected cancellation at op " +
+                                    std::to_string(ordinal));
   }
 }
 
@@ -79,15 +89,27 @@ void ChaosTextSource::InjectLatency(uint64_t key,
 Result<std::vector<std::string>> ChaosTextSource::Search(
     const TextQuery& query) const {
   const uint64_t ordinal = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  MaybeInjectCancel(ordinal, options_.cancel_before_op);
   const uint64_t key =
       options_.content_keyed ? HashContent(query.ToString()) : ordinal;
   MaybeSpike(key);
   InjectLatency(key, options_.search_latency);
+  // Cooperative checkpoint after the latency points: a cancelled operation
+  // returns before reaching the inner source, so it charges nothing. Only
+  // kCancelled (client abort / shutdown) aborts here — a deadline-armed
+  // token sheds at the scheduler's dispatch instead, leaving in-flight
+  // operations to complete as deadline semantics always have.
+  if (Status cancel = CurrentCancelToken().Check();
+      cancel.code() == StatusCode::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return cancel;
+  }
   if (ShouldFail(ordinal, key, options_.search_failure_rate)) {
     search_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status(options_.failure_code, "chaos: injected search failure");
   }
   Result<std::vector<std::string>> result = inner_->Search(query);
+  MaybeInjectCancel(ordinal, options_.cancel_after_op);
   if (!result.ok()) return result;
   if (options_.truncate_rate > 0.0 && result->size() > 1 &&
       Draw(key, kTruncateSalt) < options_.truncate_rate) {
@@ -101,6 +123,7 @@ Result<std::vector<std::string>> ChaosTextSource::Search(
 
 Result<Document> ChaosTextSource::Fetch(const std::string& docid) const {
   const uint64_t ordinal = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  MaybeInjectCancel(ordinal, options_.cancel_before_op);
   // Salt the docid hash so a fetch and a search over equal strings draw
   // independently.
   const uint64_t key = options_.content_keyed
@@ -108,11 +131,18 @@ Result<Document> ChaosTextSource::Fetch(const std::string& docid) const {
                            : ordinal;
   MaybeSpike(key);
   InjectLatency(key, options_.fetch_latency);
+  if (Status cancel = CurrentCancelToken().Check();
+      cancel.code() == StatusCode::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return cancel;
+  }
   if (ShouldFail(ordinal, key, options_.fetch_failure_rate)) {
     fetch_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status(options_.failure_code, "chaos: injected fetch failure");
   }
-  return inner_->Fetch(docid);
+  Result<Document> result = inner_->Fetch(docid);
+  MaybeInjectCancel(ordinal, options_.cancel_after_op);
+  return result;
 }
 
 ChaosStats ChaosTextSource::stats() const {
@@ -122,6 +152,7 @@ ChaosStats ChaosTextSource::stats() const {
   stats.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
   stats.slow_calls = slow_calls_.load(std::memory_order_relaxed);
   stats.truncated_searches = truncated_.load(std::memory_order_relaxed);
+  stats.cancelled_operations = cancelled_.load(std::memory_order_relaxed);
   stats.operations = ops_.load(std::memory_order_relaxed);
   return stats;
 }

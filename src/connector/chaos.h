@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "connector/text_source.h"
 
@@ -74,6 +75,19 @@ struct ChaosOptions {
   /// Status code of injected failures. Unavailable models a flaky network;
   /// Internal models a server-side fault. Both classify as transient.
   StatusCode failure_code = StatusCode::kUnavailable;
+
+  /// Deterministic, seed-free cancellation-point injection: fire the
+  /// current thread's ambient CancelToken at exactly the N-th operation
+  /// (the shared search+fetch ordinal, 1-based; 0 disables).
+  /// `cancel_before_op` cancels before op N runs, so op N itself is the
+  /// first to observe cancellation; `cancel_after_op` cancels after op N
+  /// completed normally, so op N+1 is. Together they let the cancellation
+  /// grid enumerate every boundary interleaving without wall-clock races.
+  int64_t cancel_before_op = 0;
+  int64_t cancel_after_op = 0;
+  /// The reason injected cancellations fire with (kClient by default;
+  /// tests use kShutdown to exercise the drain path).
+  CancelReason cancel_reason = CancelReason::kClient;
 };
 
 /// Counters of the injected mischief (value snapshot).
@@ -83,6 +97,7 @@ struct ChaosStats {
   uint64_t latency_spikes = 0;
   uint64_t slow_calls = 0;  ///< Operations that drew `slow_latency`.
   uint64_t truncated_searches = 0;
+  uint64_t cancelled_operations = 0;  ///< Ops aborted by an armed token.
   uint64_t operations = 0;  ///< Total Search+Fetch calls observed.
 };
 
@@ -111,8 +126,11 @@ class ChaosTextSource final : public TextSourceDecorator {
   /// Injects the per-op base latency (or the slow-call latency when the
   /// seeded draw selects this operation).
   void InjectLatency(uint64_t key, std::chrono::microseconds base) const;
-  /// Delivers a delay through the sink or a real sleep.
+  /// Delivers a delay through the sink or a token-interruptible sleep (so
+  /// injected lag cannot pin a cancelled query to the wall clock).
   void Delay(std::chrono::microseconds delay) const;
+  /// Fires the ambient token when `ordinal` matches the injection point.
+  void MaybeInjectCancel(uint64_t ordinal, int64_t at) const;
 
   ChaosOptions options_;
   mutable std::atomic<uint64_t> ops_{0};
@@ -121,6 +139,7 @@ class ChaosTextSource final : public TextSourceDecorator {
   mutable std::atomic<uint64_t> latency_spikes_{0};
   mutable std::atomic<uint64_t> slow_calls_{0};
   mutable std::atomic<uint64_t> truncated_{0};
+  mutable std::atomic<uint64_t> cancelled_{0};
 };
 
 }  // namespace textjoin

@@ -61,17 +61,62 @@ int AdaptiveLimiter::EffectiveLimitLocked() const {
   return std::max(options_.min_limit, static_cast<int>(limit_));
 }
 
-bool AdaptiveLimiter::Acquire() {
+Result<bool> AdaptiveLimiter::Acquire(const CancelToken& token) {
+  // An already-cancelled query never takes a permit, even when one is
+  // free: the caller is about to unwind, and the permit would ride along
+  // for the whole doomed round-trip. (A deadline-armed token is NOT shed
+  // here — per-op deadline budgets govern that path, as always.)
+  if (Status cancel = token.Check();
+      cancel.code() == StatusCode::kCancelled) {
+    return cancel;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_flight_ < EffectiveLimitLocked()) {
+      ++acquires_;
+      ++in_flight_;
+      return false;
+    }
+  }
+  // Queue for a permit. The OnCancel registration is taken OUTSIDE mu_: an
+  // already-cancelled token fires the callback inline, and the callback
+  // locks mu_ (a notify must be ordered by the waiter's mutex or the wakeup
+  // can be lost between the predicate check and the block).
+  auto registration = token.OnCancel([this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  });
+  const auto wait_deadline = token.wait_deadline();
   std::unique_lock<std::mutex> lock(mu_);
-  ++acquires_;
+  TEXTJOIN_RETURN_IF_ERROR(token.Check());
   if (in_flight_ < EffectiveLimitLocked()) {
+    ++acquires_;
     ++in_flight_;
     return false;
   }
   ++waits_;
   ++waiters_;
-  cv_.wait(lock, [this] { return in_flight_ < EffectiveLimitLocked(); });
+  const auto ready = [this, &token] {
+    return token.cancelled() || in_flight_ < EffectiveLimitLocked();
+  };
+  while (true) {
+    if (wait_deadline != std::chrono::steady_clock::time_point::max()) {
+      // Real-clock deadline: wake at expiry so the shed is not at the mercy
+      // of the next Release.
+      cv_.wait_until(lock, wait_deadline, ready);
+    } else {
+      cv_.wait(lock, ready);
+    }
+    const Status cancel = token.Check();
+    if (!cancel.ok()) {
+      // Shed the queued entry immediately: no permit was ever held.
+      --waiters_;
+      return cancel;
+    }
+    if (in_flight_ < EffectiveLimitLocked()) break;
+  }
   --waiters_;
+  ++acquires_;
   ++in_flight_;
   return true;
 }
@@ -151,7 +196,9 @@ AdaptiveLimiterStats AdaptiveLimiter::stats() const {
 
 template <typename T, typename Op>
 Result<T> LimitedTextSource::Limited(const Op& op) const {
-  const bool waited = limiter_->Acquire();
+  Result<bool> permit = limiter_->Acquire(CurrentCancelToken());
+  if (!permit.ok()) return permit.status();
+  const bool waited = *permit;
   acquires_.fetch_add(1, std::memory_order_relaxed);
   if (waited) waits_.fetch_add(1, std::memory_order_relaxed);
   const auto start = limiter_->Now();
@@ -252,6 +299,7 @@ HedgeControllerStats HedgeController::stats() const {
   stats.hedges = hedges_.load(std::memory_order_relaxed);
   stats.hedge_wins = wins_.load(std::memory_order_relaxed);
   stats.suppressed = suppressed_.load(std::memory_order_relaxed);
+  stats.losers_cancelled = losers_cancelled_.load(std::memory_order_relaxed);
   if (const auto delay = HedgeDelay()) {
     stats.hedge_delay_ms =
         static_cast<double>(delay->count()) / 1e3;
@@ -293,8 +341,10 @@ Result<T> HedgedTextSource::Hedged(std::function<Result<T>()> op) const {
   // Armed path: the primary runs on the controller's pool so this thread
   // is free to arm the duplicate when the delay expires (the boundary is a
   // synchronous protocol — a thread inside Search cannot also watch a
-  // timer). First response wins; the loser is uncancellable and finishes
-  // in the background under a HedgeAttemptScope.
+  // timer). First response wins. The duplicate runs under a child token so
+  // the decided race can cancel the loser; the primary is never cancelled
+  // by the race (its charges land on the main meter, and meter totals must
+  // stay byte-identical to unhedged execution).
   const auto delay =
       controller_->HedgeDelay().value_or(std::chrono::microseconds(0));
   struct Race {
@@ -305,9 +355,14 @@ Result<T> HedgedTextSource::Hedged(std::function<Result<T>()> op) const {
   };
   auto race = std::make_shared<Race>();
   HedgeController* controller = controller_;
+  // The query token, captured here so the pool threads (which have no
+  // ambient scope of their own) observe it inside the inner chain.
+  CancelToken query_token = CurrentCancelToken();
+  CancelToken loser_token;  // Minted only if a duplicate launches.
   const auto start = controller_->Now();
   TaskStarted();
-  controller_->pool()->Run([this, race, op, controller, start] {
+  controller_->pool()->Run([this, race, op, controller, start, query_token] {
+    CancelScope scope(query_token);
     Result<T> result = op();
     controller->RecordRtt(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -319,6 +374,7 @@ Result<T> HedgedTextSource::Hedged(std::function<Result<T>()> op) const {
     race->cv.notify_all();
     TaskFinished();
   });
+  bool hedged = false;
   std::unique_lock<std::mutex> lock(race->mu);
   const bool answered = race->cv.wait_for(
       lock, delay, [&race] { return race->primary.has_value(); });
@@ -331,19 +387,28 @@ Result<T> HedgedTextSource::Hedged(std::function<Result<T>()> op) const {
     } else {
       hedges_.fetch_add(1, std::memory_order_relaxed);
       controller_->CountHedge();
+      hedged = true;
       AtomicAccessMeter* waste = &waste_;
+      loser_token = CancelToken::Make();
+      // A cancelled query cancels its duplicates too; the link lives inside
+      // the duplicate task so it cannot outlast the loser token's use.
+      auto link = std::make_shared<CancelToken::Registration>(
+          query_token.LinkChild(loser_token));
+      CancelToken duplicate_token = loser_token;
       TaskStarted();
       lock.unlock();
-      controller_->pool()->Run([this, race, op, waste] {
-        HedgeAttemptScope scope(waste);
-        Result<T> result = op();
-        {
-          std::lock_guard<std::mutex> inner_lock(race->mu);
-          race->duplicate = std::move(result);
-        }
-        race->cv.notify_all();
-        TaskFinished();
-      });
+      controller_->pool()->Run(
+          [this, race, op, waste, duplicate_token, link] {
+            CancelScope scope(duplicate_token);
+            HedgeAttemptScope hedge_scope(waste);
+            Result<T> result = op();
+            {
+              std::lock_guard<std::mutex> inner_lock(race->mu);
+              race->duplicate = std::move(result);
+            }
+            race->cv.notify_all();
+            TaskFinished();
+          });
       lock.lock();
     }
   }
@@ -355,7 +420,17 @@ Result<T> HedgedTextSource::Hedged(std::function<Result<T>()> op) const {
     controller_->CountWin();
     return *std::move(race->duplicate);
   }
-  return *std::move(race->primary);
+  const bool loser_pending = hedged && !race->duplicate.has_value();
+  Result<T> result = *std::move(race->primary);
+  lock.unlock();
+  if (loser_pending && controller_->options().cancel_losers) {
+    // The race is decided; stop the straggling duplicate at its next
+    // cooperative checkpoint instead of letting it burn backend budget.
+    loser_token.Cancel(CancelReason::kClient, "hedge race lost");
+    losers_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    controller_->CountLoserCancelled();
+  }
+  return result;
 }
 
 Result<std::vector<std::string>> HedgedTextSource::Search(
@@ -402,6 +477,8 @@ HedgeActivity HedgedTextSource::activity() const {
   activity.hedges = hedges_.load(std::memory_order_relaxed);
   activity.hedge_wins = wins_.load(std::memory_order_relaxed);
   activity.suppressed = suppressed_.load(std::memory_order_relaxed);
+  activity.losers_cancelled =
+      losers_cancelled_.load(std::memory_order_relaxed);
   activity.waste = waste_.Snapshot();
   return activity;
 }
@@ -420,6 +497,18 @@ std::string OverloadActivity::ToString() const {
                 static_cast<unsigned long long>(limiter_waits), limit,
                 static_cast<unsigned long long>(shed_operations));
   std::string out = buf;
+  // New-in-cancellation fields render only when non-zero so pre-existing
+  // EXPLAIN ANALYZE output stays byte-identical for untouched queries.
+  if (cancelled_operations > 0) {
+    std::snprintf(buf, sizeof(buf), " cancelled=%llu",
+                  static_cast<unsigned long long>(cancelled_operations));
+    out += buf;
+  }
+  if (hedge_losers_cancelled > 0) {
+    std::snprintf(buf, sizeof(buf), " losers_cancelled=%llu",
+                  static_cast<unsigned long long>(hedge_losers_cancelled));
+    out += buf;
+  }
   if (admission_wait_seconds > 0.0) {
     std::snprintf(buf, sizeof(buf), " admission_wait=%.2fms",
                   admission_wait_seconds * 1e3);

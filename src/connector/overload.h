@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "connector/cost_meter.h"
@@ -42,9 +43,9 @@
 
 namespace textjoin {
 
-/// Injectable steady-clock read, same shape as CircuitBreaker::Clock.
-/// Null always means std::chrono::steady_clock::now().
-using SteadyClockFn = std::function<std::chrono::steady_clock::time_point()>;
+// SteadyClockFn (the injectable steady-clock read, same shape as
+// CircuitBreaker::Clock; null always means steady_clock::now()) lives in
+// common/cancel.h so cancellation deadlines share the same clock hook.
 
 // ---------------------------------------------------------------------------
 // Hedge-attempt scope
@@ -124,8 +125,11 @@ class AdaptiveLimiter {
   explicit AdaptiveLimiter(AdaptiveLimiterOptions options = {});
 
   /// Blocks until an in-flight permit is free. Returns true if it had to
-  /// wait (the caller queued behind the limit).
-  bool Acquire();
+  /// wait (the caller queued behind the limit). The wait is interruptible:
+  /// when `token` is cancelled (or its real-clock deadline expires) the
+  /// queued entry sheds immediately and the token's status comes back with
+  /// NO permit held.
+  Result<bool> Acquire(const CancelToken& token = CancelToken());
 
   /// Returns the permit and feeds the AIMD controller one sample.
   /// `transient_failure` should be true only for errors that say something
@@ -216,6 +220,11 @@ struct HedgeOptions {
   /// Workers of the controller-owned pool that runs primaries and
   /// duplicates once hedging is armed. 0 disables hedging outright.
   int pool_threads = 4;
+  /// Cancel the losing duplicate when the primary answers first, reclaiming
+  /// the modeled backend cost it would have burned (the waste meter only
+  /// records what the loser actually charged before noticing). Off is the
+  /// pre-cancellation behavior, kept as a bench ablation knob.
+  bool cancel_losers = true;
   /// Test hook for RTT measurement. The hedge timer itself always waits in
   /// real time (a virtual clock cannot wake a blocked thread).
   SteadyClockFn clock;
@@ -227,6 +236,7 @@ struct HedgeControllerStats {
   uint64_t hedges = 0;        ///< Duplicates launched.
   uint64_t hedge_wins = 0;    ///< Races the duplicate won.
   uint64_t suppressed = 0;    ///< Hedges skipped for lack of spare capacity.
+  uint64_t losers_cancelled = 0;  ///< Losing duplicates cancelled mid-run.
   double hedge_delay_ms = 0;  ///< Current armed delay (0 while cold).
 };
 
@@ -256,6 +266,9 @@ class HedgeController {
   void CountSuppressed() {
     suppressed_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountLoserCancelled() {
+    losers_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   const HedgeOptions options_;
@@ -270,6 +283,7 @@ class HedgeController {
   std::atomic<uint64_t> hedges_{0};
   std::atomic<uint64_t> wins_{0};
   std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> losers_cancelled_{0};
 };
 
 /// Per-query account of one HedgedTextSource.
@@ -277,6 +291,7 @@ struct HedgeActivity {
   uint64_t hedges = 0;      ///< Duplicates this query launched.
   uint64_t hedge_wins = 0;  ///< Races its duplicates won.
   uint64_t suppressed = 0;  ///< Duplicates skipped (no spare capacity).
+  uint64_t losers_cancelled = 0;  ///< Losing duplicates cancelled mid-run.
   AccessMeter waste;        ///< Loser charges, diverted off the main meter.
 };
 
@@ -285,11 +300,15 @@ struct HedgeActivity {
 /// each operation's primary runs on the controller's pool; if it has not
 /// answered within the hedge delay — and the limiter (when present) has
 /// spare capacity — an identical duplicate is raced against it and the
-/// first response wins. The loser is uncancellable (the boundary is a
-/// synchronous protocol) and runs to completion in the background, its
-/// charges diverted to this decorator's waste meter by the thread-local
-/// HedgeAttemptScope; the destructor waits for stragglers, so the inner
-/// chain may be torn down right after.
+/// first response wins. The duplicate runs under its own child CancelToken
+/// (linked to the query's token): when the primary answers first the loser
+/// is cancelled and unwinds at its next cooperative checkpoint instead of
+/// running to completion, reclaiming the backend cost it would have burned.
+/// Whatever it DID charge before noticing is diverted to this decorator's
+/// waste meter by the thread-local HedgeAttemptScope. The winning primary
+/// is never cancelled — it charges the main meter, and cancelling it would
+/// break the byte-identity contract on meter totals. The destructor waits
+/// for stragglers, so the inner chain may be torn down right after.
 ///
 /// Hedging never changes results or main-meter totals: Search/Fetch are
 /// idempotent reads, primaries always charge the main meter, duplicates
@@ -331,6 +350,7 @@ class HedgedTextSource final : public TextSourceDecorator {
   mutable std::atomic<uint64_t> hedges_{0};
   mutable std::atomic<uint64_t> wins_{0};
   mutable std::atomic<uint64_t> suppressed_{0};
+  mutable std::atomic<uint64_t> losers_cancelled_{0};
 
   mutable std::mutex task_mu_;
   mutable std::condition_variable task_cv_;
@@ -350,15 +370,18 @@ struct OverloadActivity {
   uint64_t hedge_wins = 0;
   uint64_t hedges_suppressed = 0;
   AccessMeter hedge_waste;  ///< Loser charges (excluded from meter_delta).
+  uint64_t hedge_losers_cancelled = 0;  ///< Duplicates cancelled mid-run.
   uint64_t limiter_waits = 0;      ///< Operations that queued for a permit.
   int limit = 0;                   ///< Concurrency limit after the query.
   uint64_t shed_operations = 0;    ///< Ops shed past the query deadline.
+  uint64_t cancelled_operations = 0;  ///< Ops abandoned on cancellation.
   double admission_wait_seconds = 0.0;
 
   bool empty() const {
     return hedges == 0 && hedge_wins == 0 && hedges_suppressed == 0 &&
-           hedge_waste == AccessMeter{} && limiter_waits == 0 &&
-           shed_operations == 0 && admission_wait_seconds == 0.0;
+           hedge_losers_cancelled == 0 && hedge_waste == AccessMeter{} &&
+           limiter_waits == 0 && shed_operations == 0 &&
+           cancelled_operations == 0 && admission_wait_seconds == 0.0;
   }
 
   /// "hedges=2 wins=1 waits=3 limit=8 shed=0 ...".

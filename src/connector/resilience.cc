@@ -49,6 +49,12 @@ std::string DegradationReport::ToString() const {
                 static_cast<unsigned long long>(skipped_operations),
                 static_cast<unsigned long long>(shed_operations));
   out += buf;
+  if (cancelled_operations > 0) {
+    // Rendered only when non-zero so pre-cancellation output is unchanged.
+    std::snprintf(buf, sizeof(buf), " cancelled=%llu",
+                  static_cast<unsigned long long>(cancelled_operations));
+    out += buf;
+  }
   return out;
 }
 
@@ -178,7 +184,9 @@ void ResilientTextSource::Sleep(std::chrono::microseconds delay) const {
   if (options_.sleeper) {
     options_.sleeper(delay);
   } else {
-    std::this_thread::sleep_for(delay);
+    // Interruptible: a cancelled query must not ride out a backoff it no
+    // longer cares about. The retry loop re-checks the token on wakeup.
+    CurrentCancelToken().SleepFor(delay);
   }
 }
 
@@ -206,7 +214,17 @@ Result<T> ResilientTextSource::WithRetries(std::chrono::microseconds deadline,
   // primary is still being accounted — recording their outcomes too would
   // double-trip (or wrongly heal) the breaker.
   const bool charge_breaker = breaker_ != nullptr && !InHedgeAttempt();
+  const CancelToken& token = CurrentCancelToken();
   for (int attempt = 1;; ++attempt) {
+    // Cooperative cancellation point: checked before EVERY attempt (not
+    // just after failures) so a query cancelled mid-backoff never issues
+    // another round-trip on a source nobody is waiting on. Only kCancelled
+    // aborts — a deadline-armed token is governed by the per-op deadline
+    // budget below and the scheduler's dispatch shedding, as always.
+    if (Status cancel = token.Check();
+        cancel.code() == StatusCode::kCancelled) {
+      return cancel;
+    }
     if (breaker_ != nullptr && !breaker_->Allow()) {
       breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(std::string("circuit breaker open: ") + what +

@@ -69,6 +69,7 @@ struct DegradationReport {
   uint64_t skipped_batches = 0;     ///< Semi-join disjuncts dropped.
   uint64_t skipped_operations = 0;  ///< Searches/fetches dropped.
   uint64_t shed_operations = 0;     ///< Ops shed past the query deadline.
+  uint64_t cancelled_operations = 0;  ///< Ops abandoned on cancellation.
   bool complete = true;             ///< Rows equal the fault-free answer.
 
   /// True when anything at all deviated from a clean run.
@@ -76,7 +77,8 @@ struct DegradationReport {
     return !complete || retries != 0 || deadline_hits != 0 ||
            breaker_opens != 0 || breaker_rejections != 0 ||
            batch_resplits != 0 || skipped_batches != 0 ||
-           skipped_operations != 0 || shed_operations != 0;
+           skipped_operations != 0 || shed_operations != 0 ||
+           cancelled_operations != 0;
   }
 
   DegradationReport& operator+=(const DegradationReport& other) {
@@ -88,6 +90,7 @@ struct DegradationReport {
     skipped_batches += other.skipped_batches;
     skipped_operations += other.skipped_operations;
     shed_operations += other.shed_operations;
+    cancelled_operations += other.cancelled_operations;
     complete = complete && other.complete;
     return *this;
   }
@@ -113,6 +116,9 @@ class AtomicDegradation {
   void RecordShedOperation() {
     shed_operations_.fetch_add(1, std::memory_order_relaxed);
   }
+  void RecordCancelledOperation() {
+    cancelled_operations_.fetch_add(1, std::memory_order_relaxed);
+  }
   void MarkIncomplete() {
     incomplete_.store(true, std::memory_order_relaxed);
   }
@@ -124,6 +130,8 @@ class AtomicDegradation {
     report.skipped_operations =
         skipped_operations_.load(std::memory_order_relaxed);
     report.shed_operations = shed_operations_.load(std::memory_order_relaxed);
+    report.cancelled_operations =
+        cancelled_operations_.load(std::memory_order_relaxed);
     report.complete = !incomplete_.load(std::memory_order_relaxed);
     return report;
   }
@@ -133,6 +141,7 @@ class AtomicDegradation {
   std::atomic<uint64_t> skipped_batches_{0};
   std::atomic<uint64_t> skipped_operations_{0};
   std::atomic<uint64_t> shed_operations_{0};
+  std::atomic<uint64_t> cancelled_operations_{0};
   std::atomic<bool> incomplete_{false};
 };
 
@@ -168,6 +177,15 @@ struct FaultPolicy {
   void NoteShedOperation() const {
     if (degradation == nullptr) return;
     degradation->RecordShedOperation();
+    degradation->MarkIncomplete();
+  }
+  /// Records one operation abandoned because the query was cancelled
+  /// (client abort or shutdown — deadline expiry takes the shed path
+  /// above). The query errors out with kCancelled rather than returning a
+  /// torn row set, but the report stays honest about the work dropped.
+  void NoteCancelledOperation() const {
+    if (degradation == nullptr) return;
+    degradation->RecordCancelledOperation();
     degradation->MarkIncomplete();
   }
 };
@@ -260,10 +278,13 @@ struct ResilienceOptions {
   CircuitBreakerOptions breaker;
 
   /// Per-operation time budgets; 0 disables. The underlying call is
-  /// synchronous and cannot be cancelled mid-flight, so the deadline is
-  /// enforced post-hoc: an attempt that comes back too late is discarded
-  /// (its meter charges stand — the traffic really happened) and treated
-  /// as a transient DeadlineExceeded failure.
+  /// synchronous, so the deadline is enforced post-hoc: an attempt that
+  /// comes back too late is discarded (its meter charges stand — the
+  /// traffic really happened) and treated as a transient DeadlineExceeded
+  /// failure. Query-level cancellation is cooperative instead: the retry
+  /// loop checks the ambient CancelToken before every attempt and the
+  /// backoff sleeps are interruptible, so a cancelled query stops retrying
+  /// a source nobody is waiting on.
   std::chrono::microseconds search_deadline{0};
   std::chrono::microseconds fetch_deadline{0};
 

@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/cancel.h"
+
 namespace textjoin {
 
 // ---------------------------------------------------------------------------
@@ -325,26 +327,56 @@ Result<std::vector<std::string>> ShardedTextSource::ScatterSearch(
   broadcasts_.fetch_add(1, std::memory_order_relaxed);
   const size_t n = shards_.size();
   std::vector<std::optional<Result<std::vector<std::string>>>> parts(n);
+  // The scatter lambdas run on pool workers with no ambient token of their
+  // own: re-install the caller's. Under kFailFast the shards additionally
+  // share an abort token (a child of the query token, so client aborts
+  // still fan out): the first shard error cancels it, and sibling shards
+  // stop cooperatively instead of running a scatter nobody can use.
+  CancelToken query_token = CurrentCancelToken();
+  const bool fail_fast_abort = failure_mode_ == FailureMode::kFailFast && n > 1;
+  CancelToken abort_token;
+  CancelToken::Registration link;
+  if (fail_fast_abort) {
+    abort_token = CancelToken::Make();
+    if (query_token.valid()) link = query_token.LinkChild(abort_token);
+  }
   ParallelFor(backend_.scatter_pool(), n, [&](size_t s) {
+    CancelScope scope(fail_fast_abort ? abort_token : query_token);
     parts[s].emplace(shards_[s]->top->Search(query));
+    if (fail_fast_abort && !parts[s]->ok() &&
+        parts[s]->status().code() != StatusCode::kCancelled) {
+      abort_token.Cancel(CancelReason::kClient,
+                         "scatter aborted: shard " + std::to_string(s) +
+                             " failed under fail-fast");
+    }
   });
 
   // Deterministic failure semantics: the logical operation fails with the
-  // lowest-index shard's error. Under kBestEffort a shard whose every
-  // replica failed TRANSIENTLY is dropped from the merge instead — recorded
-  // below so DegradationReport stays honest about the missing rows.
+  // lowest-index shard's REAL error — a sibling whose only failure is the
+  // injected scatter abort (kCancelled) never masks the root cause. Under
+  // kBestEffort a shard whose every replica failed TRANSIENTLY is dropped
+  // from the merge instead — recorded below so DegradationReport stays
+  // honest about the missing rows.
   size_t dropped = 0;
+  const Status* failure = nullptr;
+  const Status* cancelled = nullptr;
   for (size_t s = 0; s < n; ++s) {
     const Status& status = parts[s]->status();
     if (status.ok()) continue;
+    if (status.code() == StatusCode::kCancelled) {
+      if (cancelled == nullptr) cancelled = &status;
+      continue;
+    }
     if (failure_mode_ == FailureMode::kBestEffort &&
         IsTransientError(status.code())) {
       ++dropped;
       continue;
     }
-    return status;
+    if (failure == nullptr) failure = &status;
   }
-  if (dropped == n) return parts[0]->status();
+  if (failure != nullptr) return *failure;
+  if (cancelled != nullptr) return *cancelled;
+  if (dropped == n && n > 0) return parts[0]->status();
   if (dropped > 0) {
     dropped_shards_.fetch_add(dropped, std::memory_order_relaxed);
     incomplete_.store(true, std::memory_order_relaxed);
@@ -474,6 +506,7 @@ HedgeActivity ShardedTextSource::hedge_activity() const {
     out.hedges += activity.hedges;
     out.hedge_wins += activity.hedge_wins;
     out.suppressed += activity.suppressed;
+    out.losers_cancelled += activity.losers_cancelled;
     out.waste += activity.waste;
   }
   return out;

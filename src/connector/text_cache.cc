@@ -42,6 +42,37 @@ std::string Prefixed(char kind, const std::string& key) {
   return out;
 }
 
+/// Shared follower wait: blocks until the leader publishes, the flight is
+/// abandoned, or the follower's own token fires. The flight is kept alive
+/// by the shared_ptr captured in the wake-up callback, so a cancellation
+/// racing with this frame's return can never touch a dead flight.
+template <typename T>
+std::optional<Result<T>> WaitFlight(
+    const std::shared_ptr<TextCache::Flight<T>>& flight,
+    const CancelToken& token) {
+  auto registration = token.OnCancel([flight] {
+    std::lock_guard<std::mutex> lock(flight->m);
+    flight->cv.notify_all();
+  });
+  const auto wait_deadline = token.wait_deadline();
+  std::unique_lock<std::mutex> lock(flight->m);
+  const auto ready = [&flight, &token] {
+    return flight->done || token.cancelled();
+  };
+  while (!flight->done) {
+    if (wait_deadline != std::chrono::steady_clock::time_point::max()) {
+      flight->cv.wait_until(lock, wait_deadline, ready);
+    } else {
+      flight->cv.wait(lock, ready);
+    }
+    if (flight->done) break;
+    const Status cancel = token.Check();
+    if (!cancel.ok()) return Result<T>(cancel);
+  }
+  if (flight->abandoned) return std::nullopt;
+  return flight->result;
+}
+
 }  // namespace
 
 std::string CacheStats::ToString() const {
@@ -167,7 +198,8 @@ TextCache::SearchTicket TextCache::BeginSearch(
 
 void TextCache::FinishSearch(const std::string& canonical_key,
                              const SearchTicket& ticket,
-                             const Result<std::vector<std::string>>& result) {
+                             const Result<std::vector<std::string>>& result,
+                             bool abandoned) {
   TEXTJOIN_CHECK(ticket.leader, "FinishSearch by a non-leader");
   const std::string key = Prefixed('s', canonical_key);
   {
@@ -180,20 +212,22 @@ void TextCache::FinishSearch(const std::string& canonical_key,
       entry.bytes = SearchEntryBytes(key, entry.docids);
       AdmitLocked(std::move(entry), ticket.epoch);
     }
+    // Erased before waking the waiters: a follower that retakes leadership
+    // re-enters BeginSearch and must find the slot free.
     search_flights_.erase(key);
   }
   if (ticket.flight != nullptr) {
     std::lock_guard<std::mutex> flock(ticket.flight->m);
     ticket.flight->result = result;
     ticket.flight->done = true;
+    ticket.flight->abandoned = abandoned;
     ticket.flight->cv.notify_all();
   }
 }
 
-Result<std::vector<std::string>> TextCache::WaitSearch(SearchFlight& flight) {
-  std::unique_lock<std::mutex> lock(flight.m);
-  flight.cv.wait(lock, [&flight] { return flight.done; });
-  return flight.result;
+std::optional<Result<std::vector<std::string>>> TextCache::WaitSearch(
+    const std::shared_ptr<SearchFlight>& flight, const CancelToken& token) {
+  return WaitFlight(flight, token);
 }
 
 TextCache::FetchTicket TextCache::BeginFetch(const std::string& docid) {
@@ -227,7 +261,7 @@ TextCache::FetchTicket TextCache::BeginFetch(const std::string& docid) {
 
 void TextCache::FinishFetch(const std::string& docid,
                             const FetchTicket& ticket,
-                            const Result<Document>& result) {
+                            const Result<Document>& result, bool abandoned) {
   TEXTJOIN_CHECK(ticket.leader, "FinishFetch by a non-leader");
   const std::string key = Prefixed('d', docid);
   {
@@ -246,14 +280,14 @@ void TextCache::FinishFetch(const std::string& docid,
     std::lock_guard<std::mutex> flock(ticket.flight->m);
     ticket.flight->result = result;
     ticket.flight->done = true;
+    ticket.flight->abandoned = abandoned;
     ticket.flight->cv.notify_all();
   }
 }
 
-Result<Document> TextCache::WaitFetch(FetchFlight& flight) {
-  std::unique_lock<std::mutex> lock(flight.m);
-  flight.cv.wait(lock, [&flight] { return flight.done; });
-  return flight.result;
+std::optional<Result<Document>> TextCache::WaitFetch(
+    const std::shared_ptr<FetchFlight>& flight, const CancelToken& token) {
+  return WaitFlight(flight, token);
 }
 
 std::optional<bool> TextCache::LookupProbe(const std::string& canonical_key) {
@@ -329,42 +363,64 @@ Result<Document> CachingTextSource::Fetch(const std::string& docid) const {
 Result<std::vector<std::string>> CachingTextSource::SearchWithOutcome(
     const TextQuery& query, Outcome* outcome) const {
   const std::string key = query.CanonicalKey();
-  TextCache::SearchTicket ticket = cache_->BeginSearch(key);
-  if (ticket.cached.has_value()) {
-    *outcome = Outcome::kHit;
-    search_hits_.fetch_add(1, std::memory_order_relaxed);
-    return std::move(*ticket.cached);
+  const CancelToken& token = CurrentCancelToken();
+  // Loop only re-enters after an abandoned flight (a cancelled leader):
+  // each iteration either returns, or observed an abandonment — and the
+  // follower that wins the next BeginSearch becomes the new leader, so the
+  // stampede never hangs on a dead leader.
+  while (true) {
+    TextCache::SearchTicket ticket = cache_->BeginSearch(key);
+    if (ticket.cached.has_value()) {
+      *outcome = Outcome::kHit;
+      search_hits_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*ticket.cached);
+    }
+    if (!ticket.leader) {
+      *outcome = Outcome::kCoalesced;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      auto waited = TextCache::WaitSearch(ticket.flight, token);
+      if (waited.has_value()) return *std::move(waited);
+      // Leader abandoned the flight. Stop here if we were cancelled too;
+      // otherwise contend for leadership.
+      TEXTJOIN_RETURN_IF_ERROR(token.Check());
+      continue;
+    }
+    *outcome = Outcome::kMiss;
+    search_misses_.fetch_add(1, std::memory_order_relaxed);
+    Result<std::vector<std::string>> result = inner_->Search(query);
+    // A leader that errored out because its own query was cancelled must
+    // not hand that kCancelled to coalesced followers from other queries.
+    const bool abandoned = !result.ok() && token.cancelled();
+    cache_->FinishSearch(key, ticket, result, abandoned);
+    return result;
   }
-  if (!ticket.leader) {
-    *outcome = Outcome::kCoalesced;
-    coalesced_.fetch_add(1, std::memory_order_relaxed);
-    return TextCache::WaitSearch(*ticket.flight);
-  }
-  *outcome = Outcome::kMiss;
-  search_misses_.fetch_add(1, std::memory_order_relaxed);
-  Result<std::vector<std::string>> result = inner_->Search(query);
-  cache_->FinishSearch(key, ticket, result);
-  return result;
 }
 
 Result<Document> CachingTextSource::FetchWithOutcome(const std::string& docid,
                                                      Outcome* outcome) const {
-  TextCache::FetchTicket ticket = cache_->BeginFetch(docid);
-  if (ticket.cached.has_value()) {
-    *outcome = Outcome::kHit;
-    fetch_hits_.fetch_add(1, std::memory_order_relaxed);
-    return std::move(*ticket.cached);
+  const CancelToken& token = CurrentCancelToken();
+  while (true) {
+    TextCache::FetchTicket ticket = cache_->BeginFetch(docid);
+    if (ticket.cached.has_value()) {
+      *outcome = Outcome::kHit;
+      fetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*ticket.cached);
+    }
+    if (!ticket.leader) {
+      *outcome = Outcome::kCoalesced;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      auto waited = TextCache::WaitFetch(ticket.flight, token);
+      if (waited.has_value()) return *std::move(waited);
+      TEXTJOIN_RETURN_IF_ERROR(token.Check());
+      continue;
+    }
+    *outcome = Outcome::kMiss;
+    fetch_misses_.fetch_add(1, std::memory_order_relaxed);
+    Result<Document> result = inner_->Fetch(docid);
+    const bool abandoned = !result.ok() && token.cancelled();
+    cache_->FinishFetch(docid, ticket, result, abandoned);
+    return result;
   }
-  if (!ticket.leader) {
-    *outcome = Outcome::kCoalesced;
-    coalesced_.fetch_add(1, std::memory_order_relaxed);
-    return TextCache::WaitFetch(*ticket.flight);
-  }
-  *outcome = Outcome::kMiss;
-  fetch_misses_.fetch_add(1, std::memory_order_relaxed);
-  Result<Document> result = inner_->Fetch(docid);
-  cache_->FinishFetch(docid, ticket, result);
-  return result;
 }
 
 CachingTextSource::ProbeTicket CachingTextSource::BeginProbe(

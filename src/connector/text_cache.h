@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "connector/cost_meter.h"
 #include "connector/text_source.h"
 #include "text/document.h"
@@ -136,11 +137,15 @@ class TextCache {
 
   /// One in-flight upstream operation that followers wait on. The leader
   /// publishes exactly once; the stored Result is copied out per waiter.
+  /// `abandoned` marks a flight whose leader was cancelled before producing
+  /// a usable result: followers must NOT inherit the leader's kCancelled —
+  /// they re-enter Begin* and one of them takes over leadership.
   template <typename T>
   struct Flight {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
+    bool abandoned = false;
     Result<T> result;
     Flight() : result(Status::Unavailable("operation in flight")) {}
   };
@@ -161,11 +166,20 @@ class TextCache {
   /// Publishes the leader's result: admits it into the store (success
   /// only, and only if the epoch did not advance meanwhile) and wakes the
   /// flight's waiters. Must be called exactly once per leader ticket, on
-  /// success AND failure.
+  /// success AND failure — including cancellation, where `abandoned` must
+  /// be true so waiting followers retake leadership instead of inheriting
+  /// the leader's kCancelled.
   void FinishSearch(const std::string& canonical_key,
                     const SearchTicket& ticket,
-                    const Result<std::vector<std::string>>& result);
-  static Result<std::vector<std::string>> WaitSearch(SearchFlight& flight);
+                    const Result<std::vector<std::string>>& result,
+                    bool abandoned = false);
+  /// Waits for the leader's published result. Returns nullopt when the
+  /// leader abandoned the flight (the caller should re-enter BeginSearch,
+  /// possibly becoming the new leader), or the follower's own cancellation
+  /// status when `token` fires first.
+  static std::optional<Result<std::vector<std::string>>> WaitSearch(
+      const std::shared_ptr<SearchFlight>& flight,
+      const CancelToken& token = CancelToken());
 
   /// Same protocol for document retrieval.
   struct FetchTicket {
@@ -176,8 +190,10 @@ class TextCache {
   };
   FetchTicket BeginFetch(const std::string& docid);
   void FinishFetch(const std::string& docid, const FetchTicket& ticket,
-                   const Result<Document>& result);
-  static Result<Document> WaitFetch(FetchFlight& flight);
+                   const Result<Document>& result, bool abandoned = false);
+  static std::optional<Result<Document>> WaitFetch(
+      const std::shared_ptr<FetchFlight>& flight,
+      const CancelToken& token = CancelToken());
 
   /// Probe outcomes (no coalescing: probes already dedup per query, and
   /// the outcome is one bit). Lookup returns whether the probe query

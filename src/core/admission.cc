@@ -35,12 +35,34 @@ void AdmissionController::Release() {
 
 void AdmissionController::Poke() { cv_.notify_all(); }
 
-Result<AdmissionTicket> AdmissionController::Admit(double est_cost_seconds,
-                                                   TimePoint deadline,
-                                                   int priority) {
+Result<AdmissionTicket> AdmissionController::Admit(
+    double est_cost_seconds, TimePoint deadline, int priority,
+    const CancelToken& token) {
   const TimePoint arrived = Now();
   const int max_concurrent = std::max(1, options_.max_concurrent);
+  // Registered BEFORE taking mu_: an already-cancelled token fires the
+  // callback inline, and the callback locks mu_ to order its notify
+  // against the wait predicate below (lost-wakeup prevention).
+  CancelToken::Registration wake;
+  if (token.valid()) {
+    wake = token.OnCancel([this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    });
+  }
   std::unique_lock<std::mutex> lock(mu_);
+  const auto cancel_check = [&]() -> Status {
+    Status cancel = token.Check();
+    if (!cancel.ok()) {
+      if (cancel.code() == StatusCode::kCancelled) {
+        ++shed_cancelled_;
+      } else {
+        ++shed_deadline_;  // The token's own deadline: a deadline shed.
+      }
+    }
+    return cancel;
+  };
+  if (Status cancel = cancel_check(); !cancel.ok()) return cancel;
   // Evaluated on arrival AND at every wakeup while queued: deadlines keep
   // expiring in the queue, and shedding there is exactly the point — a
   // query that cannot finish in time must not reach an execution slot.
@@ -83,11 +105,21 @@ Result<AdmissionTicket> AdmissionController::Admit(double est_cost_seconds,
   for (;;) {
     // With an injected clock, timed waits are meaningless (the virtual
     // clock cannot fire them) — sheds are evaluated when a slot frees or
-    // the test Poke()s. On the real clock, a deadline wakes itself.
-    if (!options_.clock && deadline != TimePoint::max()) {
-      cv_.wait_until(lock, deadline);
+    // the test Poke()s. On the real clock, a deadline wakes itself; the
+    // token's OnCancel callback wakes cancellations.
+    TimePoint wake_at = deadline;
+    if (!options_.clock) wake_at = std::min(wake_at, token.wait_deadline());
+    if (!options_.clock && wake_at != TimePoint::max()) {
+      cv_.wait_until(lock, wake_at);
     } else {
       cv_.wait(lock);
+    }
+    if (Status cancel = cancel_check(); !cancel.ok()) {
+      // Queued entries shed immediately on cancel — nobody is waiting for
+      // this query anymore, so it must not ripen into an execution slot.
+      waiting_.erase(me);
+      cv_.notify_all();
+      return cancel;
     }
     if (Status shed = shed_check(); !shed.ok()) {
       waiting_.erase(me);
@@ -117,10 +149,13 @@ AdmissionStats AdmissionController::stats() const {
   stats.admitted = admitted_;
   stats.shed_queue_full = shed_queue_full_;
   stats.shed_deadline = shed_deadline_;
+  stats.shed_cancelled = shed_cancelled_;
   stats.waits = waits_;
   stats.max_queue_depth = max_queue_depth_;
   stats.max_running = max_running_;
   stats.total_wait_seconds = total_wait_seconds_;
+  stats.running = running_;
+  stats.queued = waiting_.size();
   return stats;
 }
 

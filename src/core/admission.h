@@ -8,6 +8,7 @@
 #include <set>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "connector/overload.h"
 
@@ -51,10 +52,15 @@ struct AdmissionStats {
   uint64_t admitted = 0;         ///< Queries granted a slot.
   uint64_t shed_queue_full = 0;  ///< Arrivals shed on a full queue.
   uint64_t shed_deadline = 0;    ///< Shed on deadline / cost grounds.
+  uint64_t shed_cancelled = 0;   ///< Shed because the query was cancelled.
   uint64_t waits = 0;            ///< Admits that had to queue first.
   uint64_t max_queue_depth = 0;  ///< Deepest the queue ever got.
   uint64_t max_running = 0;      ///< Most slots ever in use at once.
   double total_wait_seconds = 0.0;  ///< Summed admission queueing time.
+  /// Instantaneous gauges at snapshot time — the leak tests' ground truth:
+  /// after every ticket is released they must both read zero.
+  int running = 0;       ///< Slots currently held by live tickets.
+  size_t queued = 0;     ///< Waiters currently queued.
 };
 
 class AdmissionController;
@@ -97,8 +103,13 @@ class AdmissionController {
   /// kDeadlineExceeded when `deadline` has passed or — with cost_scale set
   /// — the remaining deadline cannot cover `est_cost_seconds` (simulated
   /// CostModel seconds). `deadline` TimePoint::max() means none.
+  /// A queued entry whose `token` fires sheds immediately (with the
+  /// token's status — kCancelled for aborts/shutdown) instead of waiting
+  /// out the queue: cancellation interrupts the wait. A null (default)
+  /// token never fires.
   Result<AdmissionTicket> Admit(double est_cost_seconds, TimePoint deadline,
-                                int priority);
+                                int priority,
+                                const CancelToken& token = CancelToken());
 
   /// Wakes queued waiters so they re-evaluate their deadline — for tests
   /// driving a fake clock (real-clock waiters wake themselves).
@@ -125,6 +136,7 @@ class AdmissionController {
   uint64_t admitted_ = 0;
   uint64_t shed_queue_full_ = 0;
   uint64_t shed_deadline_ = 0;
+  uint64_t shed_cancelled_ = 0;
   uint64_t waits_ = 0;
   uint64_t max_queue_depth_ = 0;
   uint64_t max_running_ = 0;

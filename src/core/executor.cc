@@ -347,11 +347,20 @@ Result<ExecutionResult> PlanExecutor::Execute(const PlanNode& root,
     if (options_.deadline != std::chrono::steady_clock::time_point::max()) {
       sched->SetDeadline(options_.deadline, options_.clock);
     }
+    if (options_.cancel.valid()) {
+      sched->SetCancelToken(options_.cancel);
+    }
   }
+  // The driving thread participates in every drain; give it the same
+  // ambient token its spawned units get, so inline stages and the
+  // connector waits under them observe cancellation too.
+  std::optional<CancelScope> cancel_scope;
+  if (options_.cancel.valid()) cancel_scope.emplace(options_.cancel);
   Result<ExecutionResult> executed =
       Exec(root, query, profile, policy, sched ? &*sched : nullptr);
   if (profile != nullptr && sched) {
     profile->overload.shed_operations = sched->shed_operations();
+    profile->overload.cancelled_operations = sched->cancelled_operations();
   }
   if (degradation != nullptr) *degradation = sink.Snapshot();
   TEXTJOIN_ASSIGN_OR_RETURN(ExecutionResult result, std::move(executed));

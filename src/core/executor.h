@@ -85,6 +85,12 @@ struct ExecutorOptions {
       std::chrono::steady_clock::time_point::max();
   int priority = 0;
   SteadyClockFn clock;
+  /// Cooperative cancellation (see StageScheduler::SetCancelToken): once
+  /// the token fires, remaining operations and pending units abandon and
+  /// the query errors out with kCancelled. A null (default) token never
+  /// cancels. The executor also threads it to every worker thread as the
+  /// ambient CurrentCancelToken(), so connector-side waits observe it.
+  CancelToken cancel;
 };
 
 /// Walks a plan tree bottom-up, running scans/filters/joins with the

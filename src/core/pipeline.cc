@@ -302,6 +302,18 @@ struct StageScheduler::State {
   size_t fail_rank = 0;
   uint64_t fail_ordinal = 0;
   Status failure;
+
+  // Cancellation: the query token (propagated to unit threads via
+  // ExecuteTask's CancelScope) and the policy used to account drained
+  // units. Lives here because pool drain jobs address tasks through State;
+  // any job that actually pops a task completes before the scheduler's
+  // destructor returns, so the policy pointer stays valid whenever it is
+  // dereferenced. Written once before any unit spawns (SetCancelToken
+  // contract); ExecuteTask reads it lock-free — the pool's task queue
+  // gives worker threads the necessary happens-before edge.
+  CancelToken cancel;
+  const FaultPolicy* policy = nullptr;
+  std::atomic<uint64_t> cancelled_ops{0};
 };
 
 StageScheduler::StageScheduler(ThreadPool* pool, TextSource& source,
@@ -313,7 +325,9 @@ StageScheduler::StageScheduler(ThreadPool* pool, TextSource& source,
       // it) but its outcomes are not attributable to stages from here.
       caching_(dynamic_cast<CachingTextSource*>(&source)),
       policy_(policy),
-      state_(std::make_shared<State>()) {}
+      state_(std::make_shared<State>()) {
+  state_->policy = &policy_;
+}
 
 StageScheduler::~StageScheduler() {
   // Leftover units (a caller that errored out before Wait) must still run:
@@ -338,7 +352,37 @@ void StageScheduler::SetDeadline(std::chrono::steady_clock::time_point deadline,
   deadline_clock_ = std::move(clock);
 }
 
+void StageScheduler::SetCancelToken(CancelToken token) {
+  // No lock: must be called before any unit spawns (see State::cancel), so
+  // the write is ordered before every lock-free read in ExecuteTask.
+  state_->cancel = std::move(token);
+}
+
+uint64_t StageScheduler::cancelled_operations() const {
+  return state_->cancelled_ops.load(std::memory_order_relaxed);
+}
+
 Status StageScheduler::CheckDeadline(StageId stage) {
+  // Cooperative cancellation first. The ambient token is the armed one:
+  // ExecuteTask installs it around every unit, and inline (driver-thread)
+  // operations run under the caller's own scope. Check() also arms the
+  // token when its deadline has passed.
+  if (Status cancel = CurrentCancelToken().Check(); !cancel.ok()) {
+    if (cancel.code() == StatusCode::kCancelled) {
+      // Client abort / shutdown: the query is going to error out with
+      // kCancelled (permanent — no best-effort absorption, no torn rows),
+      // but the report stays honest about the operation dropped.
+      state_->cancelled_ops.fetch_add(1, std::memory_order_relaxed);
+      policy_.NoteCancelledOperation();
+      return cancel;
+    }
+    // The token's own deadline fired: same semantics as the armed
+    // scheduler deadline below — the operation is shed, not cancelled
+    // (under best-effort the query still finishes with the rows it has).
+    shed_operations_.fetch_add(1, std::memory_order_relaxed);
+    policy_.NoteShedOperation();
+    return cancel;
+  }
   if (!has_deadline_) return Status::OK();
   const auto now = deadline_clock_ ? deadline_clock_()
                                    : std::chrono::steady_clock::now();
@@ -385,19 +429,50 @@ bool StageScheduler::DrainOne(State& state) {
 }
 
 void StageScheduler::ExecuteTask(State& state, Task task) {
-  const uint64_t saved_op_ns = tls_op_ns;
-  tls_op_ns = 0;
-  const auto start = std::chrono::steady_clock::now();
-  Status status = task.fn();
-  const uint64_t elapsed = NsSince(start);
-  const uint64_t inner_ops = tls_op_ns;
-  // An enclosing scope (a driver draining inside a ScopedStageTimer) must
-  // not double-count this unit's time as its own.
-  tls_op_ns = saved_op_ns + elapsed;
-  task.fn = nullptr;  // Release captures before waiters may proceed.
-  task.stage->units.fetch_add(1, std::memory_order_relaxed);
-  task.stage->wall_ns.fetch_add(elapsed > inner_ops ? elapsed - inner_ops : 0,
-                                std::memory_order_relaxed);
+  // Propagate the query token to whichever thread runs the unit, so every
+  // source-side wait (retry backoff, limiter queue, chaos latency) under
+  // this unit observes it. Pool workers carry no ambient token and need the
+  // scope; the serial driver thread usually already has the identical token
+  // ambient (Pipeline::Execute inherits it), and re-installing it there
+  // would charge every in-memory unit a mutex + shared_ptr copy + TLS swap
+  // for nothing — so skip the scope when the states already match. Reading
+  // `state.cancel` without the lock is safe: it is written once before any
+  // unit spawns (SetCancelToken contract) and the pool's task queue
+  // establishes happens-before for worker threads.
+  std::optional<CancelScope> scope;
+  if (state.cancel.valid() &&
+      !state.cancel.SharesStateWith(CurrentCancelToken())) {
+    scope.emplace(state.cancel);
+  }
+  // Once the token fires (client abort / shutdown), pending units drain
+  // WITHOUT running: captures are released, the unit is accounted as
+  // cancelled, and the sticky failure keeps kCancelled so the query can
+  // never publish a torn row set. Deadline-armed tokens do NOT drain units
+  // — their operations shed individually and the driver still assembles.
+  Status status;
+  if (Status cancel = state.cancel.Check();
+      !cancel.ok() && cancel.code() == StatusCode::kCancelled) {
+    state.cancelled_ops.fetch_add(1, std::memory_order_relaxed);
+    if (state.policy != nullptr) state.policy->NoteCancelledOperation();
+    task.fn = nullptr;  // Release captures before waiters may proceed.
+    task.stage->units.fetch_add(1, std::memory_order_relaxed);
+    status = std::move(cancel);
+  } else {
+    const uint64_t saved_op_ns = tls_op_ns;
+    tls_op_ns = 0;
+    const auto start = std::chrono::steady_clock::now();
+    status = task.fn();
+    const uint64_t elapsed = NsSince(start);
+    const uint64_t inner_ops = tls_op_ns;
+    // An enclosing scope (a driver draining inside a ScopedStageTimer) must
+    // not double-count this unit's time as its own.
+    tls_op_ns = saved_op_ns + elapsed;
+    task.fn = nullptr;  // Release captures before waiters may proceed.
+    task.stage->units.fetch_add(1, std::memory_order_relaxed);
+    task.stage->wall_ns.fetch_add(
+        elapsed > inner_ops ? elapsed - inner_ops : 0,
+        std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(state.mu);
     if (!status.ok()) {
@@ -434,6 +509,12 @@ Status StageScheduler::Wait() {
   return state->failed ? state->failure : Status::OK();
 }
 
+void StageScheduler::NoteCancelledResult(const Status& status) {
+  if (status.code() != StatusCode::kCancelled) return;
+  state_->cancelled_ops.fetch_add(1, std::memory_order_relaxed);
+  policy_.NoteCancelledOperation();
+}
+
 Result<std::vector<std::string>> StageScheduler::Search(
     StageId stage, const TextQuery& query) {
   if (Status shed = CheckDeadline(stage); !shed.ok()) return shed;
@@ -462,12 +543,15 @@ Result<std::vector<std::string>> StageScheduler::Search(
         stage->cache_coalesced.fetch_add(1, kRelaxed);
         break;
     }
+    if (!result.ok()) NoteCancelledResult(result.status());
     return result;
   }
   Result<std::vector<std::string>> result = source_.Search(query);
   if (result.ok()) {
     stage->invocations.fetch_add(1, std::memory_order_relaxed);
     stage->short_docs.fetch_add(result->size(), std::memory_order_relaxed);
+  } else {
+    NoteCancelledResult(result.status());
   }
   return result;
 }
@@ -492,11 +576,14 @@ Result<Document> StageScheduler::Fetch(StageId stage,
         stage->cache_coalesced.fetch_add(1, kRelaxed);
         break;
     }
+    if (!result.ok()) NoteCancelledResult(result.status());
     return result;
   }
   Result<Document> result = source_.Fetch(docid);
   if (result.ok()) {
     stage->long_docs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    NoteCancelledResult(result.status());
   }
   return result;
 }
@@ -757,6 +844,12 @@ Result<ForeignJoinResult> Pipeline::Execute(
   std::optional<StageScheduler> owned;
   if (scheduler == nullptr) {
     owned.emplace(pool, source, policy);
+    // A private scheduler inherits the caller's ambient token, so units
+    // running on pool threads observe cancellation too. (The executor arms
+    // its shared scheduler explicitly via SetCancelToken.)
+    if (const CancelToken& token = CurrentCancelToken(); token.valid()) {
+      owned->SetCancelToken(token);
+    }
     scheduler = &*owned;
   }
   MethodContext ctx{rspec, left_rows, probe_mask_, *scheduler, &stages_, {}};

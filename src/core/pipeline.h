@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "connector/overload.h"
@@ -269,6 +270,23 @@ class StageScheduler {
     return shed_operations_.load(std::memory_order_relaxed);
   }
 
+  /// Arms cooperative cancellation. Once `token` fires with a kClient /
+  /// kShutdown reason, every subsequent Search/Fetch returns kCancelled
+  /// without touching the source, and pending units drain WITHOUT running:
+  /// their captures are released and each is accounted as a cancelled
+  /// operation. kCancelled is permanent (never absorbed by a best-effort
+  /// policy), so a cancelled query errors out rather than publishing a
+  /// torn row set. A token-armed DEADLINE instead takes the shed path
+  /// above (per-op shedding; the query still assembles the rows it has).
+  /// The token is also propagated as the ambient CurrentCancelToken() to
+  /// whichever thread runs a unit, so source-side decorators (retry
+  /// backoff, limiter waits, chaos latency) observe it too. Call from the
+  /// driving thread before spawning units.
+  void SetCancelToken(CancelToken token);
+
+  /// Source operations + drained units abandoned due to cancellation.
+  uint64_t cancelled_operations() const;
+
   /// Enqueues one unit of `stage`. `ordinal` orders the unit within its
   /// stage for deterministic failure selection; units of one stage should
   /// use distinct ordinals. Safe to call from inside a running unit.
@@ -340,8 +358,15 @@ class StageScheduler {
   static bool DrainOne(State& state);
   static void ExecuteTask(State& state, Task task);
 
-  /// OK, or the shed status when the armed deadline has passed.
+  /// OK, or the cancel/shed status when the armed token has fired or the
+  /// armed deadline has passed (token checked first).
   Status CheckDeadline(StageId stage);
+
+  /// Accounts an operation whose source call came back kCancelled: the
+  /// token fired MID-call (after the dispatch checkpoint passed), so the
+  /// dropped work must still reach the cancelled counters and the
+  /// degradation sink for the report to stay honest.
+  void NoteCancelledResult(const Status& status);
 
   ThreadPool* pool_;
   TextSource& source_;

@@ -107,12 +107,45 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql) {
 
 Result<QueryOutcome> FederationService::Run(const std::string& sql,
                                             const RunOptions& run) {
+  // One per-query token is THE cancellation path: the client's RunOptions
+  // token links into it, deadline expiry arms it, and Drain() fires it
+  // with kShutdown. Registered before any work so a drain that starts
+  // while we parse still reaches this query.
+  CancelToken token = CancelToken::Make();
+  CancelToken::Registration client_link;
+  if (run.cancel.valid()) client_link = run.cancel.LinkChild(token);
+  uint64_t query_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (draining_) {
+      return Status::Unavailable("service draining; new queries refused");
+    }
+    query_id = next_query_id_++;
+    active_.emplace(query_id, token);
+  }
+  // Unregister on EVERY exit path; the notify wakes a waiting Drain().
+  struct ActiveGuard {
+    FederationService* service;
+    uint64_t id;
+    ~ActiveGuard() {
+      {
+        std::lock_guard<std::mutex> lock(service->lifecycle_mu_);
+        service->active_.erase(id);
+      }
+      service->lifecycle_cv_.notify_all();
+    }
+  } unregister{this, query_id};
+  // Ambient for this thread: statistics sampling, planning, and the
+  // executor's inline stages all observe the token.
+  CancelScope cancel_scope(token);
+
   TEXTJOIN_ASSIGN_OR_RETURN(FederatedQuery query, ParseQuery(sql, options_.text));
   TEXTJOIN_ASSIGN_OR_RETURN(PlanNodePtr plan, Plan(query));
 
   // Query deadline: per-call override, else the service default, else
   // none. Computed and checked on deadline_clock everywhere (the one
-  // injectable query-deadline clock).
+  // injectable query-deadline clock). Expiry arms the SAME token, so
+  // deadline aborts and client aborts take one cooperative path.
   const std::chrono::microseconds budget =
       run.deadline.value_or(options_.default_deadline);
   const auto& deadline_clock = options_.deadline_clock;
@@ -122,15 +155,21 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
   const auto deadline_tp = budget.count() > 0
                                ? now() + budget
                                : std::chrono::steady_clock::time_point::max();
+  if (deadline_tp != std::chrono::steady_clock::time_point::max()) {
+    token.SetDeadline(deadline_tp, deadline_clock);
+  }
   const int priority = run.priority.value_or(options_.default_priority);
+  TEXTJOIN_RETURN_IF_ERROR(token.Check());
 
   // Admission: bounded queueing for an execution slot; sheds queries whose
-  // remaining deadline cannot cover the plan's estimated cost. The ticket
-  // holds the slot for the rest of this call.
+  // remaining deadline cannot cover the plan's estimated cost, and sheds
+  // queued entries immediately when their token fires. The ticket holds
+  // the slot for the rest of this call.
   AdmissionTicket ticket;
   if (admission_ != nullptr) {
     TEXTJOIN_ASSIGN_OR_RETURN(
-        ticket, admission_->Admit(plan->est_cost, deadline_tp, priority));
+        ticket,
+        admission_->Admit(plan->est_cost, deadline_tp, priority, token));
   }
 
   // A private router per call isolates its logical meter: the outcome's
@@ -170,6 +209,7 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
   exec_options.deadline = deadline_tp;
   exec_options.priority = priority;
   exec_options.clock = deadline_clock;
+  exec_options.cancel = token;
   PlanExecutor executor(catalog_, exec_source, exec_options, pool_.get());
   QueryOutcome outcome;
   TEXTJOIN_ASSIGN_OR_RETURN(
@@ -200,8 +240,11 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
     outcome.overload.hedge_wins = activity.hedge_wins;
     outcome.overload.hedges_suppressed = activity.suppressed;
     outcome.overload.hedge_waste = activity.waste;
+    outcome.overload.hedge_losers_cancelled = activity.losers_cancelled;
   }
   outcome.overload.shed_operations = outcome.degradation.shed_operations;
+  outcome.overload.cancelled_operations =
+      outcome.degradation.cancelled_operations;
   outcome.overload.admission_wait_seconds = ticket.wait_seconds();
   outcome.profile.overload = outcome.overload;
   if (!backend_->topology().single()) {
@@ -219,6 +262,79 @@ Result<QueryOutcome> FederationService::Run(const std::string& sql,
   outcome.plan = std::move(plan);
   cumulative_.Add(outcome.meter_delta);
   return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// QueryHandle / Launch / Drain
+
+/// The handle's shared half: the worker thread and its (write-once)
+/// outcome. The join in Await()/~QueryHandle is the synchronization point
+/// for `result`, so no further locking is needed.
+struct FederationService::QueryHandle::Shared {
+  std::thread thread;
+  std::optional<Result<QueryOutcome>> result;
+};
+
+FederationService::QueryHandle::~QueryHandle() {
+  if (shared_ != nullptr && shared_->thread.joinable()) {
+    shared_->thread.join();
+  }
+}
+
+void FederationService::QueryHandle::Cancel(std::string reason) {
+  token_.Cancel(CancelReason::kClient, std::move(reason));
+}
+
+Result<QueryOutcome> FederationService::QueryHandle::Await() {
+  if (shared_ == nullptr) {
+    return Status::InvalidArgument("Await on an empty QueryHandle");
+  }
+  if (shared_->thread.joinable()) shared_->thread.join();
+  if (!shared_->result.has_value()) {
+    return Status::InvalidArgument("QueryHandle already awaited");
+  }
+  Result<QueryOutcome> result = *std::move(shared_->result);
+  shared_->result.reset();
+  return result;
+}
+
+FederationService::QueryHandle FederationService::Launch(const std::string& sql,
+                                                         RunOptions run) {
+  QueryHandle handle;
+  handle.token_ = CancelToken::Make();
+  // An external RunOptions token keeps working: it fans into the handle's.
+  if (run.cancel.valid()) handle.link_ = run.cancel.LinkChild(handle.token_);
+  run.cancel = handle.token_;
+  handle.shared_ = std::make_shared<QueryHandle::Shared>();
+  std::shared_ptr<QueryHandle::Shared> shared = handle.shared_;
+  handle.shared_->thread = std::thread(
+      [this, shared, sql, run] { shared->result.emplace(Run(sql, run)); });
+  return handle;
+}
+
+FederationService::DrainReport FederationService::Drain(
+    std::chrono::microseconds budget) {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  draining_ = true;  // From here on, Run()/Launch() refuse with kUnavailable.
+  DrainReport report;
+  report.in_flight = active_.size();
+  // Give in-flight queries the budget to finish on their own. Real clock:
+  // draining is an operational action, not part of any simulated workload.
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  lifecycle_cv_.wait_until(lock, deadline, [this] { return active_.empty(); });
+  report.finished = report.in_flight - active_.size();
+  if (!active_.empty()) {
+    // Hard-cancel the stragglers through their own tokens — the same
+    // cooperative path client aborts take — then wait for them to unwind
+    // (they must release permits, tickets and pool jobs on the way out).
+    report.cancelled = active_.size();
+    for (auto& [id, token] : active_) {
+      token.Cancel(CancelReason::kShutdown,
+                   "service drain budget exhausted; query cancelled");
+    }
+    lifecycle_cv_.wait(lock, [this] { return active_.empty(); });
+  }
+  return report;
 }
 
 Result<std::string> FederationService::Explain(const std::string& sql) {

@@ -3,14 +3,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "connector/overload.h"
@@ -190,6 +194,49 @@ class FederationService {
   struct RunOptions {
     std::optional<std::chrono::microseconds> deadline;
     std::optional<int> priority;
+    /// Client abort handle: make one with CancelToken::Make(), pass it
+    /// here, and Cancel() it from any thread to abort the query
+    /// cooperatively — queued admission waits shed immediately, pending
+    /// pipeline units drain without running, in-flight source waits
+    /// (retry backoff, limiter queues, injected latency) wake, and the
+    /// query returns kCancelled. A null (default) token never fires.
+    /// Deadline expiry and service drain arm the SAME per-query token
+    /// internally, so all three converge on one cancellation path.
+    CancelToken cancel;
+  };
+
+  /// A query started with Launch(): cancel it, await its outcome. Move-only;
+  /// destroying an un-awaited handle blocks until the query finished
+  /// (cancel first for a fast exit).
+  class QueryHandle {
+   public:
+    QueryHandle() = default;
+    QueryHandle(QueryHandle&&) = default;
+    QueryHandle& operator=(QueryHandle&&) = default;
+    ~QueryHandle();
+
+    /// Fires the query's token with kClient. Idempotent; safe from any
+    /// thread, including after the query finished.
+    void Cancel(std::string reason = "client abort");
+
+    /// Blocks until the query finished and returns its outcome (or its
+    /// error — kCancelled after Cancel(), kUnavailable when refused by a
+    /// draining service). Valid once per handle.
+    Result<QueryOutcome> Await();
+
+   private:
+    friend class FederationService;
+    struct Shared;
+    CancelToken token_;
+    CancelToken::Registration link_;
+    std::shared_ptr<Shared> shared_;
+  };
+
+  /// What Drain() did to the queries that were in flight when it started.
+  struct DrainReport {
+    size_t in_flight = 0;  ///< Queries active when the drain began.
+    size_t finished = 0;   ///< Of those, completed inside the budget.
+    size_t cancelled = 0;  ///< Stragglers hard-cancelled at the budget.
   };
 
   /// All pointers must outlive the service. `engine` may be null when
@@ -239,8 +286,34 @@ class FederationService {
   /// Run() with per-call deadline/priority overrides. A query shed by
   /// admission control returns an error outcome: kUnavailable when the
   /// admission queue was full, kDeadlineExceeded when its deadline had
-  /// passed (or could not cover the plan's estimated cost).
+  /// passed (or could not cover the plan's estimated cost). A cancelled
+  /// query (run.cancel, deadline-armed token, or service drain) returns
+  /// kCancelled without publishing a torn row set.
   Result<QueryOutcome> Run(const std::string& sql, const RunOptions& run);
+
+  /// Starts `sql` on a dedicated thread and returns immediately with a
+  /// handle that can Cancel() it mid-flight and Await() its outcome — the
+  /// asynchronous face of Run() (which stays synchronous).
+  QueryHandle Launch(const std::string& sql, RunOptions run = {});
+
+  /// Graceful drain: stop admitting new queries (Run/Launch return
+  /// kUnavailable from now on), give in-flight queries `budget` of real
+  /// time to finish, then hard-cancel the stragglers (kShutdown through
+  /// each query's token) and wait for them to unwind. Idempotent; safe
+  /// to call concurrently with Run (a second drain observes whatever the
+  /// first left). The service stays usable for introspection (meters,
+  /// stats) afterwards — only query admission is closed.
+  DrainReport Drain(std::chrono::microseconds budget);
+
+  /// Drain with a zero budget: refuse new queries and hard-cancel
+  /// everything in flight immediately.
+  DrainReport Shutdown() { return Drain(std::chrono::microseconds{0}); }
+
+  /// True once Drain()/Shutdown() began: new queries are being refused.
+  bool draining() const {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    return draining_;
+  }
 
   /// Parses and optimizes `sql`, returning the EXPLAIN rendering of the
   /// chosen plan (no execution, no meter charges beyond statistics).
@@ -338,6 +411,15 @@ class FederationService {
 
   /// Admission gate; null when admission_control is absent.
   std::unique_ptr<AdmissionController> admission_;
+
+  /// Query lifecycle: the drain gate plus the registry of in-flight query
+  /// tokens (id -> token), so Drain() can hard-cancel stragglers. Guarded
+  /// by lifecycle_mu_; lifecycle_cv_ signals every unregister.
+  mutable std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool draining_ = false;
+  uint64_t next_query_id_ = 0;
+  std::map<uint64_t, CancelToken> active_;
 
   /// The cross-query cache (private or shared per Options). Null when off.
   std::shared_ptr<TextCache> cache_;

@@ -317,7 +317,8 @@ TEST(TextCacheCoalesceTest, ConcurrentIdenticalSearchesShareOneFlight) {
       joined.count_down();
       if (t.flight != nullptr && !t.leader) {
         coalesced.fetch_add(1);
-        results[i] = TextCache::WaitSearch(*t.flight);
+        auto waited = TextCache::WaitSearch(t.flight);
+        if (waited.has_value()) results[i] = *std::move(waited);
       }
     });
   }
@@ -351,7 +352,9 @@ TEST(TextCacheCoalesceTest, LeaderFailurePropagatesToWaitersUncached) {
     joined.count_down();
     ASSERT_FALSE(t.leader);
     ASSERT_NE(t.flight, nullptr);
-    follower_result = TextCache::WaitFetch(*t.flight);
+    auto waited = TextCache::WaitFetch(t.flight);
+    ASSERT_TRUE(waited.has_value());
+    follower_result = *std::move(waited);
   });
   joined.wait();
   cache.FinishFetch("d9", leader, Result<Document>(Status::NotFound("gone")));

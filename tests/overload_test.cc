@@ -182,11 +182,16 @@ TEST_F(AdaptiveLimiterTest, ClampsToConfiguredRange) {
 TEST_F(AdaptiveLimiterTest, AcquireBlocksAtTheLimit) {
   options_.min_limit = options_.max_limit = options_.initial_limit = 1;
   AdaptiveLimiter limiter(options_);
-  EXPECT_FALSE(limiter.Acquire());  // Fast path, no wait.
+  Result<bool> fast = limiter.Acquire();
+  ASSERT_TRUE(fast.ok());
+  EXPECT_FALSE(*fast);  // Fast path, no wait.
   EXPECT_FALSE(limiter.HasSpareCapacity());
 
   std::atomic<bool> waited{false};
-  std::thread blocked([&] { waited.store(limiter.Acquire()); });
+  std::thread blocked([&] {
+    Result<bool> permit = limiter.Acquire();
+    waited.store(permit.ok() && *permit);
+  });
   while (limiter.stats().waiters == 0) std::this_thread::yield();
 
   limiter.Release(std::chrono::milliseconds(1), false);
